@@ -1,0 +1,76 @@
+// Ablation: parity-accumulator pool size vs host-fallback rate
+// (paper §VI-B.3, DESIGN.md §5).
+//
+// Parity nodes aggregate per-packet accumulator buffers allocated from a
+// fixed on-NIC pool; when the pool is empty the aggregation falls back to
+// the host. With interleaved client transmission, accumulator lifetimes are
+// short (contributions from the k data nodes arrive close together), so a
+// modest pool suffices; a starved pool pushes work back to the CPU.
+#include "bench/harness.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+namespace {
+
+struct Point {
+  std::uint64_t fallbacks = 0;
+  std::uint64_t on_nic = 0;
+  double latency_ns = 0;
+  bool ok = false;
+};
+
+Point run(std::size_t pool_bytes) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 5;
+  cfg.dfs.accumulator_pool_bytes = pool_bytes;
+  Cluster cluster(cfg);
+  Client client(cluster, 0);
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+
+  Point p;
+  // A burst of 8 concurrent 128 KiB EC writes.
+  unsigned done = 0;
+  for (int w = 0; w < 8; ++w) {
+    const auto& layout = cluster.metadata().create("f" + std::to_string(w), 128 * KiB, policy);
+    const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+    client.write(layout, cap, random_bytes(128 * KiB, w), [&](bool ok, TimePs at) {
+      done += ok;
+      p.latency_ns = std::max(p.latency_ns, to_ns(at));
+    });
+  }
+  cluster.sim().run();
+  p.ok = done == 8;
+  for (std::size_t n = 0; n < cluster.storage_node_count(); ++n) {
+    auto* st = cluster.storage_node(n).dfs_state();
+    p.fallbacks += st->agg_fallbacks;
+    p.on_nic += st->pool.high_water();
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: accumulator pool size vs CPU-fallback aggregation",
+               "paper Section VI-B.3");
+  std::printf("%12s %12s %14s %16s %8s\n", "pool", "buffers", "fallback seqs",
+              "burst makespan", "correct");
+  for (const std::size_t pool :
+       {std::size_t{0}, 8 * std::size_t{2048}, 32 * std::size_t{2048},
+        128 * std::size_t{2048}, 1 * MiB}) {
+    const auto p = run(pool);
+    std::printf("%12s %12zu %14llu %13.0f ns %8s\n", format_size(pool).c_str(), pool / 2048,
+                static_cast<unsigned long long>(p.fallbacks), p.latency_ns,
+                p.ok ? "yes" : "NO");
+    std::printf("CSV:ablation_pool,%zu,%llu,%.0f,%d\n", pool,
+                static_cast<unsigned long long>(p.fallbacks), p.latency_ns, p.ok ? 1 : 0);
+  }
+  std::printf("\nReading: parity content stays correct in every configuration (the\n"
+              "fallback path aggregates on the host); the pool only determines how\n"
+              "much aggregation stays on the NIC.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: NIC egress command-queue depth vs sPIN-PBT payload-handler
+// stall (DESIGN.md §5).
+//
+// Table I's PBT row (PH ~2.1 us, IPC 0.06) is caused by handlers stalling
+// on a *bounded* egress command queue drained at link rate. This ablation
+// shows the steady-state stall is set by the 2:1 egress:ingress ratio
+// (Little's law over the saturated port), not by the queue depth itself —
+// depth only shifts where the waiting happens.
+#include "bench/harness.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+namespace {
+
+struct Point {
+  double ph_ns;
+  double goodput;
+};
+
+Point run(unsigned depth) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 4;
+  cfg.pspin.egress_queue_depth = depth;
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kReplication;
+  policy.strategy = dfs::ReplStrategy::kPbt;
+  policy.repl_k = 4;
+  const auto r = measure_goodput(cfg, policy, 64 * KiB, 4, 16);
+  return {r.ph_mean_ns, r.gbit_per_s};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: egress command-queue depth vs PBT handler stall",
+               "the mechanism behind Table I's PBT row");
+  std::printf("%8s %16s %14s\n", "depth", "PH mean (ns)", "goodput");
+  for (const unsigned depth : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    const auto p = run(depth);
+    std::printf("%8u %16.0f %11.1f Gb\n", depth, p.ph_ns, p.goodput);
+    std::printf("CSV:ablation_egress,%u,%.0f,%.2f\n", depth, p.ph_ns, p.goodput);
+  }
+  std::printf("\nReading: goodput stays ~half line rate at any depth (egress-bound);\n"
+              "PH duration absorbs the queueing wherever the queue bounds it.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 6 — Write latency under client-request authentication, for the four
+// protocols: RPC+RDMA, RPC, sPIN, and raw (speed-of-light) writes.
+#include "bench/harness.hpp"
+#include "protocols/raw_rdma.hpp"
+#include "protocols/rpc.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+int main() {
+  print_header("Write latency vs size, request-authentication policy only",
+               "Fig. 6 of the paper");
+
+  const std::vector<std::size_t> sizes = {512,      1 * KiB,  2 * KiB,   4 * KiB,
+                                          8 * KiB,  16 * KiB, 32 * KiB,  64 * KiB,
+                                          128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB};
+
+  ClusterConfig host_cfg;
+  host_cfg.storage_nodes = 1;
+  host_cfg.install_dfs = false;
+  ClusterConfig spin_cfg;
+  spin_cfg.storage_nodes = 1;
+
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "size", "RPC+RDMA", "RPC", "sPIN", "Raw",
+              "sPIN/Raw");
+  for (const std::size_t size : sizes) {
+    const auto rpc_rdma = measure_write(host_cfg, FilePolicy{}, size, [](Cluster& c) {
+      return std::make_unique<protocols::RpcRdmaWrite>(c);
+    });
+    const auto rpc = measure_write(host_cfg, FilePolicy{}, size, [](Cluster& c) {
+      return std::make_unique<protocols::RpcWrite>(c);
+    });
+    const auto spin = measure_write(spin_cfg, FilePolicy{}, size, [](Cluster&) {
+      return std::make_unique<protocols::SpinWrite>();
+    });
+    const auto raw = measure_write(host_cfg, FilePolicy{}, size, [](Cluster& c) {
+      return std::make_unique<protocols::RawWrite>(c);
+    });
+    std::printf("%10s %10.0fns %10.0fns %10.0fns %10.0fns %9.2fx\n", size_label(size).c_str(),
+                rpc_rdma.latency_ns, rpc.latency_ns, spin.latency_ns, raw.latency_ns,
+                spin.latency_ns / raw.latency_ns);
+    std::printf("CSV:fig06,%zu,%.1f,%.1f,%.1f,%.1f\n", size, rpc_rdma.latency_ns, rpc.latency_ns,
+                spin.latency_ns, raw.latency_ns);
+  }
+  std::printf("\nExpected shape: sPIN tracks Raw (<=~27%% overhead for small writes,\n"
+              "converging for large); RPC pays the bounce-buffer copy on large\n"
+              "writes; RPC+RDMA pays an extra round trip on small writes.\n");
+  return 0;
+}

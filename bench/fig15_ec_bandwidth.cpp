@@ -1,0 +1,78 @@
+// Fig. 15 (right) — Encoding bandwidth (generated data / elapsed time, the
+// INEC paper's window-based methodology) for sPIN-TriEC RS(3,2) and
+// RS(6,3), against INEC-TriEC RS(6,3), at 100 Gbit/s.
+#include "bench/harness.hpp"
+#include "protocols/inec.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+namespace {
+
+FilePolicy ec_policy(std::uint8_t k, std::uint8_t m) {
+  FilePolicy p;
+  p.resiliency = dfs::Resiliency::kErasureCoding;
+  p.ec_k = k;
+  p.ec_m = m;
+  return p;
+}
+
+/// Window of writes issued back to back; bandwidth = payload bytes / time
+/// of the last completion.
+double window_bandwidth_gbps(unsigned k, unsigned m, std::size_t block, bool with_spin,
+                             unsigned window) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = k + m;
+  cfg.network.link_bandwidth = Bandwidth::from_gbps(100.0);
+  cfg.install_dfs = with_spin;
+  Cluster cluster(cfg);
+  Client client(cluster, 0);
+  std::unique_ptr<protocols::WriteProtocol> proto;
+  if (with_spin) {
+    proto = std::make_unique<protocols::SpinWrite>();
+  } else {
+    proto = std::make_unique<protocols::InecTriEc>(cluster);
+  }
+
+  TimePs last = 0;
+  unsigned done = 0;
+  for (unsigned w = 0; w < window; ++w) {
+    const auto& layout = cluster.metadata().create(
+        "w" + std::to_string(w), block,
+        ec_policy(static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(m)));
+    const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+    proto->write(client, layout, cap, random_bytes(block, w), [&](bool ok, TimePs at) {
+      if (ok) {
+        ++done;
+        last = std::max(last, at);
+      }
+    });
+  }
+  cluster.sim().run();
+  if (done == 0 || last == 0) return 0.0;
+  return static_cast<double>(done) * static_cast<double>(block) * 8.0 /
+         (static_cast<double>(last) / 1e12) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Encoding bandwidth: sPIN-TriEC vs INEC-TriEC @ 100 Gbit/s",
+               "Fig. 15 right of the paper");
+  std::printf("%10s %16s %16s %16s\n", "block", "sPIN RS(3,2)", "sPIN RS(6,3)",
+              "INEC RS(6,3)");
+  for (const std::size_t block : {1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 512 * KiB}) {
+    const unsigned window = block <= 16 * KiB ? 64 : 16;
+    const double spin32 = window_bandwidth_gbps(3, 2, block, true, window);
+    const double spin63 = window_bandwidth_gbps(6, 3, block, true, window);
+    const double inec63 = window_bandwidth_gbps(6, 3, block, false, window);
+    std::printf("%10s %13.1f Gb %13.1f Gb %13.1f Gb\n", size_label(block).c_str(), spin32,
+                spin63, inec63);
+    std::printf("CSV:fig15_bw,%zu,%.2f,%.2f,%.2f\n", block, spin32, spin63, inec63);
+  }
+  std::printf("\nExpected shape (paper): sPIN-TriEC bandwidth is roughly block-size\n"
+              "independent (it always works on packets) while INEC is crushed by\n"
+              "per-chunk memory copies at small blocks (paper: 29x at 1 KiB,\n"
+              "3.3x at 512 KiB for RS(6,3)).\n");
+  return 0;
+}

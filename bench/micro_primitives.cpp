@@ -1,0 +1,183 @@
+// Micro-benchmarks (google-benchmark) of the compute primitives the
+// handlers and the simulator are built on: GF(2^8) arithmetic, Reed-Solomon
+// encode/decode, SipHash capability MACs, the event queue, packetization,
+// and the GapServer reservation allocator.
+#include <benchmark/benchmark.h>
+
+#include "auth/capability.hpp"
+#include "auth/siphash.hpp"
+#include "common/rng.hpp"
+#include "dfs/wire.hpp"
+#include "ec/gf256.hpp"
+#include "ec/reed_solomon.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace nadfs;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+// ----------------------------------------------------------- GF(2^8)
+
+void BM_GfMulTable(benchmark::State& state) {
+  const auto& gf = ec::Gf256::instance();
+  Rng rng(1);
+  std::uint8_t a = rng.next_byte(), b = rng.next_byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf.mul(a, b));
+    a = static_cast<std::uint8_t>(a + 1);
+    b = static_cast<std::uint8_t>(b + 3);
+  }
+}
+BENCHMARK(BM_GfMulTable);
+
+void BM_GfMulAddVector(benchmark::State& state) {
+  const auto& gf = ec::Gf256::instance();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Bytes dst = random_bytes(n, 1);
+  const Bytes src = random_bytes(n, 2);
+  for (auto _ : state) {
+    gf.mul_add(dst, src, 0x1D);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulAddVector)->Arg(2048)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+// -------------------------------------------------------- Reed-Solomon
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto m = static_cast<unsigned>(state.range(1));
+  const std::size_t chunk = static_cast<std::size_t>(state.range(2));
+  ec::ReedSolomon rs(k, m);
+  std::vector<Bytes> data;
+  for (unsigned i = 0; i < k; ++i) data.push_back(random_bytes(chunk, i));
+  for (auto _ : state) {
+    auto parity = rs.encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk * k));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({3, 2, 64 * 1024})
+    ->Args({6, 3, 64 * 1024})
+    ->Args({6, 3, 1024 * 1024})
+    ->Args({12, 4, 64 * 1024});
+
+void BM_RsDecodeWorstCase(benchmark::State& state) {
+  // All m data chunks lost: full matrix-inversion recovery path.
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto m = static_cast<unsigned>(state.range(1));
+  const std::size_t chunk = 64 * 1024;
+  ec::ReedSolomon rs(k, m);
+  std::vector<Bytes> data;
+  for (unsigned i = 0; i < k; ++i) data.push_back(random_bytes(chunk, i));
+  const auto parity = rs.encode(data);
+  std::vector<std::pair<unsigned, Bytes>> present;
+  for (unsigned i = m; i < k; ++i) present.emplace_back(i, data[i]);
+  for (unsigned i = 0; i < m; ++i) present.emplace_back(k + i, parity[i]);
+  for (auto _ : state) {
+    auto out = rs.decode(present);
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk * k));
+}
+BENCHMARK(BM_RsDecodeWorstCase)->Args({3, 2})->Args({6, 3});
+
+void BM_RsEncodeIntermediate(benchmark::State& state) {
+  // The per-packet work of a sPIN-TriEC data node.
+  ec::ReedSolomon rs(6, 3);
+  const Bytes pkt = random_bytes(2048);
+  for (auto _ : state) {
+    auto inter = rs.encode_intermediate(2, pkt);
+    benchmark::DoNotOptimize(inter.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_RsEncodeIntermediate);
+
+// ------------------------------------------------------------- SipHash
+
+void BM_SipHash(benchmark::State& state) {
+  auth::Key128 key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  const auto msg = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auth::siphash24(key, msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(48)->Arg(2048)->Arg(64 * 1024);
+
+void BM_CapabilityVerify(benchmark::State& state) {
+  auth::Key128 key{};
+  key[3] = 7;
+  auth::CapabilityAuthority authority(key);
+  const auto cap = authority.mint(1, 2, auth::Right::kWrite, 0, 0, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(authority.verify(cap, 0, auth::Right::kWrite, 64, 4096));
+  }
+}
+BENCHMARK(BM_CapabilityVerify);
+
+// ------------------------------------------------------- event engine
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 1000) sim.schedule(1, chain);
+    };
+    sim.schedule(1, chain);
+    sim.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_GapServerReserve(benchmark::State& state) {
+  sim::Simulator sim;
+  for (auto _ : state) {
+    sim::GapServer srv(sim, Bandwidth::from_gbps(400.0));
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(srv.reserve(2048, static_cast<TimePs>(i % 7) * 1000));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_GapServerReserve);
+
+// ------------------------------------------------------ packetization
+
+void BM_BuildWritePackets(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto data = random_bytes(size);
+  dfs::DfsHeader hdr;
+  hdr.greq_id = 1;
+  dfs::WriteRequestHeader wrh;
+  wrh.total_len = size;
+  for (auto _ : state) {
+    auto pkts = dfs::build_write_packets(0, 1, 2048, hdr, wrh, data);
+    benchmark::DoNotOptimize(pkts.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_BuildWritePackets)->Arg(4 * 1024)->Arg(256 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Closed-form models backing the paper's analytic figures.
+//
+//   Fig. 4  — worst-case NIC memory vs. number of concurrent writes, per
+//             write size, with the 6 MiB line (~82 K writes at 77 B each).
+//             Little's law L = lambda * W bounds the concurrency a single
+//             storage node sees at full bandwidth: lambda = BW / size
+//             writes/s, W = service time of one write (transfer + handler
+//             pipeline + ack round trip).
+//   Fig. 16 (right) — HPUs needed to sustain a line rate given the average
+//             handler duration: at rate R with packet size P, a packet
+//             arrives every P/R; N HPUs sustain it iff duration <= N * P/R.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace nadfs::analysis {
+
+struct NicMemoryModel {
+  std::size_t descriptor_bytes = 77;       ///< paper §III-B.2
+  std::size_t available_bytes = 6 * MiB;   ///< request-table area
+  Bandwidth line_rate = Bandwidth::from_gbps(400.0);
+  TimePs base_overhead = ns(1500);         ///< handler pipeline + ack RTT
+
+  /// NIC memory required to hold `writes` concurrent request descriptors.
+  std::size_t memory_for(std::uint64_t writes) const { return writes * descriptor_bytes; }
+
+  /// Maximum concurrent writes the request-table area can hold (~82 K).
+  std::uint64_t capacity_writes() const { return available_bytes / descriptor_bytes; }
+
+  /// Service time of one write of `size` bytes at full bandwidth.
+  TimePs service_time(std::size_t size) const {
+    return line_rate.transfer_time(size) + base_overhead;
+  }
+
+  /// Little's law: average writes in service when fixed-size writes arrive
+  /// back-to-back at full bandwidth (lambda = BW/size).
+  double concurrent_writes_at_line_rate(std::size_t size) const {
+    const double lambda =
+        1e12 / (line_rate.ps_per_byte() * static_cast<double>(size));  // writes per second
+    const double w = static_cast<double>(service_time(size)) / 1e12;   // seconds
+    return lambda * w;
+  }
+};
+
+struct HpuBudgetModel {
+  std::size_t packet_bytes = 2048;
+  unsigned hpus = 32;
+
+  /// Per-packet line-rate interval at `rate`.
+  TimePs packet_interval(Bandwidth rate) const { return rate.transfer_time(packet_bytes); }
+
+  /// Time budget one handler invocation has before N HPUs fall behind.
+  TimePs handler_budget(Bandwidth rate, unsigned n_hpus) const {
+    return packet_interval(rate) * n_hpus;
+  }
+
+  /// HPUs needed so handlers of `duration` keep up with `rate`.
+  unsigned hpus_needed(Bandwidth rate, TimePs duration) const {
+    const TimePs interval = packet_interval(rate);
+    return static_cast<unsigned>((duration + interval - 1) / interval);
+  }
+};
+
+}  // namespace nadfs::analysis

@@ -1,0 +1,71 @@
+// Capability tickets (paper §IV, threat model "clients not trusted,
+// network trusted").
+//
+// The management/metadata services mint a capability describing what a
+// client may do ({client, object, rights, expiry, extent}) and sign it with
+// a key shared among DFS services. The client attaches the capability to
+// every request; sPIN handlers (or the storage CPU, for the baselines)
+// verify the signature and check the requested operation against the
+// granted rights — all without a round trip to the metadata service.
+#pragma once
+
+#include <cstdint>
+
+#include "auth/siphash.hpp"
+#include "common/bytes.hpp"
+
+namespace nadfs::auth {
+
+enum class Right : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+inline bool allows(Right granted, Right requested) {
+  return (static_cast<std::uint8_t>(granted) & static_cast<std::uint8_t>(requested)) ==
+         static_cast<std::uint8_t>(requested);
+}
+
+struct Capability {
+  std::uint64_t client_id = 0;
+  std::uint64_t object_id = 0;
+  Right rights = Right::kNone;
+  std::uint64_t expiry_ps = 0;   ///< simulated-time expiry
+  std::uint64_t extent_base = 0; ///< storage address range the grant covers
+  std::uint64_t extent_len = 0;
+  std::uint64_t mac = 0;         ///< SipHash-2-4 over all fields above
+
+  /// Serialized size on the wire (part of the DFS header, Fig. 3).
+  static constexpr std::size_t kWireBytes = 8 + 8 + 1 + 8 + 8 + 8 + 8;
+
+  void serialize(ByteWriter& w) const;
+  static Capability deserialize(ByteReader& r);
+};
+
+/// Mints (signs) and verifies capabilities under the DFS-shared key.
+class CapabilityAuthority {
+ public:
+  explicit CapabilityAuthority(Key128 key) : key_(key) {}
+
+  Capability mint(std::uint64_t client_id, std::uint64_t object_id, Right rights,
+                  std::uint64_t expiry_ps, std::uint64_t extent_base,
+                  std::uint64_t extent_len) const;
+
+  /// Signature + semantic checks: MAC valid, not expired at `now_ps`,
+  /// operation within granted rights, [addr, addr+len) inside the extent.
+  bool verify(const Capability& cap, std::uint64_t now_ps, Right requested,
+              std::uint64_t addr, std::uint64_t len) const;
+
+  /// MAC-only check (used where the request-shape checks happen elsewhere).
+  bool verify_mac(const Capability& cap) const;
+
+  const Key128& key() const { return key_; }
+
+ private:
+  std::uint64_t compute_mac(const Capability& cap) const;
+  Key128 key_;
+};
+
+}  // namespace nadfs::auth

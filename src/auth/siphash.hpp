@@ -1,0 +1,21 @@
+// SipHash-2-4: the keyed MAC used to sign capability tickets.
+//
+// The paper's threat model (§IV) — untrusted clients, trusted network —
+// requires capabilities "signed with a key shared among DFS services" and
+// verified by the sPIN handlers. SipHash is the natural choice for a
+// 32-bit-core SmartNIC: short code, 64-bit ARX only, no tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nadfs::auth {
+
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key` (reference algorithm, 64-bit tag).
+std::uint64_t siphash24(const Key128& key, ByteSpan data);
+
+}  // namespace nadfs::auth

@@ -1,0 +1,76 @@
+// Byte-buffer helpers: little-endian scalar (de)serialization used by the
+// packet header codecs. Header fields are packed explicitly rather than via
+// struct casts so the on-wire layout is compiler-independent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace nadfs {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// Appends scalars/byte-ranges to a growing buffer (little-endian).
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    const auto old = out_.size();
+    out_.resize(old + sizeof(T));
+    std::memcpy(out_.data() + old, &v, sizeof(T));
+  }
+
+  void put_bytes(ByteSpan data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads scalars/byte-ranges from a fixed buffer; throws on overrun so that
+/// malformed packets surface as errors instead of silent garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    T v;
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated buffer");
+    }
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteSpan get_bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated buffer");
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nadfs

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Off by default so simulations stay quiet in tests
+// and benches; examples turn on Info for narrative output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace nadfs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string log_format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+inline std::string log_format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, detail::log_format(fmt, std::forward<Args>(args)...));
+}
+
+#define NADFS_LOG_INFO(...) ::nadfs::log(::nadfs::LogLevel::kInfo, __VA_ARGS__)
+#define NADFS_LOG_DEBUG(...) ::nadfs::log(::nadfs::LogLevel::kDebug, __VA_ARGS__)
+#define NADFS_LOG_WARN(...) ::nadfs::log(::nadfs::LogLevel::kWarn, __VA_ARGS__)
+#define NADFS_LOG_ERROR(...) ::nadfs::log(::nadfs::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace nadfs

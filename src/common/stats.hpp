@@ -1,0 +1,71 @@
+// Sample accumulators for latency/throughput reporting in the benches and
+// the handler-runtime figures (min/median/p99/max percentile summaries).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nadfs {
+
+class Summary {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+  double median() const { return percentile(50.0); }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    sort();
+    if (p <= 0.0) return samples_.front();
+    if (p >= 100.0) return samples_.back();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  const std::vector<double>& samples() const {
+    sort();
+    return samples_;
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace nadfs

@@ -1,0 +1,35 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace nadfs {
+
+std::string format_time(TimePs t) {
+  char buf[64];
+  if (t < kPsPerNs) {
+    std::snprintf(buf, sizeof(buf), "%llu ps", static_cast<unsigned long long>(t));
+  } else if (t < kPsPerUs) {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", to_ns(t));
+  } else if (t < kPsPerMs) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(t) / 1e9);
+  }
+  return buf;
+}
+
+std::string format_size(std::size_t bytes) {
+  char buf[64];
+  if (bytes < KiB) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (bytes < MiB) {
+    std::snprintf(buf, sizeof(buf), "%zu KiB", bytes / KiB);
+  } else if (bytes < GiB) {
+    std::snprintf(buf, sizeof(buf), "%zu MiB", bytes / MiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", static_cast<double>(bytes) / static_cast<double>(GiB));
+  }
+  return buf;
+}
+
+}  // namespace nadfs

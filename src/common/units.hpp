@@ -1,0 +1,63 @@
+// Time, bandwidth, and size units used throughout the simulator.
+//
+// All simulated time is kept in integer picoseconds so that link
+// serialization, 1 GHz cycle counts (1 cycle == 1000 ps), and sub-ns
+// scheduler costs compose without floating-point drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nadfs {
+
+/// Simulated time in picoseconds.
+using TimePs = std::uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1000;
+inline constexpr TimePs kPsPerUs = 1000 * kPsPerNs;
+inline constexpr TimePs kPsPerMs = 1000 * kPsPerUs;
+inline constexpr TimePs kPsPerSec = 1000 * kPsPerMs;
+
+constexpr TimePs ns(std::uint64_t v) { return v * kPsPerNs; }
+constexpr TimePs us(std::uint64_t v) { return v * kPsPerUs; }
+constexpr TimePs ms(std::uint64_t v) { return v * kPsPerMs; }
+
+constexpr double to_ns(TimePs t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(TimePs t) { return static_cast<double>(t) / 1e6; }
+
+/// Byte-size literals.
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// Link/processing bandwidth, stored as picoseconds-per-byte so that
+/// transmission times are exact integer arithmetic.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth from_gbps(double gbps) {
+    // ps/byte = 8 bits/byte * 1e12 ps/s / (gbps * 1e9 bit/s) = 8000 / gbps.
+    return Bandwidth(8000.0 / gbps);
+  }
+  static constexpr Bandwidth from_gbytes_per_sec(double gBps) {
+    return Bandwidth(1000.0 / gBps);
+  }
+
+  constexpr double ps_per_byte() const { return ps_per_byte_; }
+  constexpr double gbps() const { return 8000.0 / ps_per_byte_; }
+
+  /// Time to move `bytes` at this rate.
+  constexpr TimePs transfer_time(std::size_t bytes) const {
+    return static_cast<TimePs>(static_cast<double>(bytes) * ps_per_byte_ + 0.5);
+  }
+
+ private:
+  explicit constexpr Bandwidth(double ps_per_byte) : ps_per_byte_(ps_per_byte) {}
+  double ps_per_byte_ = 0.0;
+};
+
+std::string format_time(TimePs t);
+std::string format_size(std::size_t bytes);
+
+}  // namespace nadfs

@@ -1,0 +1,419 @@
+#include "dfs/handlers.hpp"
+
+#include <algorithm>
+
+#include "dfs/costs.hpp"
+
+namespace nadfs::dfs {
+
+std::vector<std::uint8_t> broadcast_children(std::uint8_t rank, std::uint8_t k,
+                                             ReplStrategy strategy) {
+  std::vector<std::uint8_t> out;
+  if (strategy == ReplStrategy::kRing) {
+    if (rank + 1 < k) out.push_back(static_cast<std::uint8_t>(rank + 1));
+  } else {
+    const unsigned l = 2u * rank + 1;
+    const unsigned r = 2u * rank + 2;
+    if (l < k) out.push_back(static_cast<std::uint8_t>(l));
+    if (r < k) out.push_back(static_cast<std::uint8_t>(r));
+  }
+  return out;
+}
+
+unsigned broadcast_depth(std::uint8_t k, ReplStrategy strategy) {
+  if (k <= 1) return 0;
+  if (strategy == ReplStrategy::kRing) return k - 1u;
+  unsigned depth = 0;
+  unsigned last = k - 1u;  // deepest rank
+  while (last > 0) {
+    last = (last - 1) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+namespace {
+
+using spin::HandlerCtx;
+using spin::MessageKey;
+
+/// Serialize the headers a forwarded first packet carries: the unchanged
+/// DFS header plus a WRH rewritten for the receiving node.
+Bytes rewrite_headers(const DfsHeader& dfs, const WriteRequestHeader& wrh) {
+  return serialize_write_headers(dfs, wrh);
+}
+
+void send_control(HandlerCtx& ctx, net::NodeId dst, net::Opcode opcode, std::uint64_t greq) {
+  net::Packet p;
+  p.dst = dst;
+  p.opcode = opcode;
+  p.msg_id = greq;
+  p.seq = 0;
+  p.pkt_count = 1;
+  p.user_tag = greq;
+  ctx.send(std::move(p));
+}
+
+// ---------------------------------------------------------------- HH ----
+
+void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
+  if (st.cfg.validate_requests) {
+    ctx.charge(cost::kHhInstr, cost::kHhCycles);
+  } else {
+    // Trusted threat model: plain-ticket comparison instead of the MAC.
+    ctx.charge(cost::kHhTrustedInstr, cost::kHhTrustedCycles);
+  }
+  const MessageKey key{pkt.src, pkt.msg_id};
+
+  ParsedRequest req;
+  try {
+    req = parse_request(pkt.data);
+  } catch (const std::out_of_range&) {
+    st.denied.insert(key);
+    ++st.auth_failures;
+    return;  // malformed: drop silently (no client coordinates to NACK)
+  }
+
+  // DFS_request_init: validate the capability against the requested
+  // operation and extent (threat model of §IV: untrusted clients).
+  bool ok = true;
+  if (st.cfg.validate_requests) {
+    const auto right = req.dfs.op == OpType::kWrite ? auth::Right::kWrite : auth::Right::kRead;
+    const std::uint64_t addr =
+        req.dfs.op == OpType::kWrite ? req.wrh.dest_addr : req.rrh.src_addr;
+    const std::uint64_t len =
+        req.dfs.op == OpType::kWrite ? req.wrh.total_len : req.rrh.len;
+    ok = st.authority.verify(req.dfs.cap, ctx.now_ps(), right, addr, len);
+    if (!ok) ++st.auth_failures;
+  }
+
+  std::optional<std::uint32_t> slot;
+  if (ok) {
+    slot = st.table.alloc();
+    if (!slot) {
+      ++st.table_denials;
+      ctx.notify_host(kEvTableFull, req.dfs.greq_id);
+    }
+  } else {
+    ctx.notify_host(kEvAuthFailure, req.dfs.greq_id);
+  }
+
+  if (!ok || !slot) {
+    st.denied.insert(key);
+    ++st.nacks_sent;
+    send_control(ctx, req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id);
+    return;
+  }
+
+  ReqEntry entry;
+  entry.accept = true;
+  entry.slot = *slot;
+  entry.greq_id = req.dfs.greq_id;
+  entry.client = req.dfs.client_node;
+  entry.op = req.dfs.op;
+  entry.header_bytes = req.header_bytes;
+
+  if (req.dfs.op == OpType::kRead) {
+    entry.rrh = req.rrh;
+    st.requests.emplace(key, std::move(entry));
+    return;
+  }
+
+  const WriteRequestHeader& wrh = req.wrh;
+  entry.dest_addr = wrh.dest_addr;
+  entry.total_len = wrh.total_len;
+  entry.resiliency = wrh.resiliency;
+
+  switch (wrh.resiliency) {
+    case Resiliency::kNone:
+      break;
+    case Resiliency::kReplication: {
+      // Fill the coord_array: children of this virtual rank, each with the
+      // first-packet headers rewritten for it (dest address + rank).
+      for (const std::uint8_t child :
+           broadcast_children(wrh.virtual_rank, static_cast<std::uint8_t>(wrh.replicas.size()),
+                              wrh.strategy)) {
+        WriteRequestHeader child_wrh = wrh;
+        child_wrh.virtual_rank = child;
+        child_wrh.dest_addr = wrh.replicas[child].addr;
+        entry.children.push_back(
+            ReqEntry::Child{wrh.replicas[child], rewrite_headers(req.dfs, child_wrh)});
+      }
+      break;
+    }
+    case Resiliency::kErasureCoding: {
+      entry.ec_k = wrh.ec_k;
+      entry.ec_m = wrh.ec_m;
+      entry.role = wrh.role;
+      entry.data_idx = wrh.data_idx;
+      entry.parity_nodes = wrh.parity_nodes;
+      if (wrh.role == EcRole::kData) {
+        // Prepare the per-parity-node first-packet headers once; PHs splice
+        // them in front of the intermediate parity payloads.
+        for (std::size_t i = 0; i < wrh.parity_nodes.size(); ++i) {
+          WriteRequestHeader pw = wrh;
+          pw.role = EcRole::kParity;
+          pw.dest_addr = wrh.parity_nodes[i].addr;
+          entry.parity_first_headers.push_back(rewrite_headers(req.dfs, pw));
+        }
+      }
+      break;
+    }
+  }
+  st.requests.emplace(key, std::move(entry));
+}
+
+// ---------------------------------------------------------------- PH ----
+
+/// Forward one packet of the message to a child: first packets get the
+/// child's rewritten headers, later packets are byte-identical.
+void forward_packet(HandlerCtx& ctx, const net::Packet& pkt, std::size_t header_bytes,
+                    const Coord& to, const Bytes& first_headers, std::uint64_t greq) {
+  net::Packet p;
+  p.dst = to.node;
+  p.opcode = net::Opcode::kRdmaWrite;
+  p.msg_id = pkt.msg_id;
+  p.seq = pkt.seq;
+  p.pkt_count = pkt.pkt_count;
+  p.raddr = pkt.raddr;
+  p.user_tag = greq;
+  if (pkt.first()) {
+    p.data = first_headers;
+    p.data.insert(p.data.end(), pkt.data.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+                  pkt.data.end());
+  } else {
+    p.data = pkt.data;
+  }
+  ctx.send(std::move(p));
+}
+
+void payload_ec_data(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt, ReqEntry& entry,
+                     ByteSpan payload, std::uint64_t data_off) {
+  ctx.charge(cost::kEcPhBaseInstr, cost::kEcPhBaseCycles);
+  ctx.dma_to_storage(entry.dest_addr + data_off, Bytes(payload.begin(), payload.end()));
+
+  const unsigned m = entry.ec_m;
+  // One fused pass over the payload computes all m intermediate parities:
+  // 1+2m instructions per byte, 2+3m cycles (GF table load-use), Table II.
+  ctx.charge_per_byte(payload.size(), cost::ec_instr_per_byte(m), cost::ec_cycles_per_byte(m));
+  const auto& rs = st.codec(entry.ec_k, m);
+  const auto inter = rs.encode_intermediate(entry.data_idx, payload);
+
+  for (unsigned i = 0; i < m; ++i) {
+    net::Packet p;
+    p.dst = entry.parity_nodes[i].node;
+    p.opcode = net::Opcode::kRdmaWrite;
+    p.msg_id = pkt.msg_id;
+    p.seq = pkt.seq;
+    p.pkt_count = pkt.pkt_count;
+    p.raddr = pkt.raddr;
+    p.user_tag = entry.greq_id;
+    if (pkt.first()) {
+      p.data = entry.parity_first_headers[i];
+      p.data.insert(p.data.end(), inter[i].begin(), inter[i].end());
+    } else {
+      p.data = inter[i];
+    }
+    ctx.charge(i == 0 ? cost::kSendFirstInstr : cost::kSendExtraInstr,
+               i == 0 ? cost::kSendFirstCycles : cost::kSendExtraCycles);
+    ctx.send(std::move(p));
+  }
+}
+
+void payload_ec_parity(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt, ReqEntry& entry,
+                       ByteSpan payload, std::uint64_t data_off) {
+  ctx.charge(cost::kAggBaseInstr, cost::kAggBaseCycles);
+  ctx.charge_per_byte(payload.size(), cost::kAggInstrPerByte, cost::kAggCyclesPerByte);
+
+  const DfsState::AggKey akey{entry.greq_id, pkt.seq};
+  auto [it, fresh] = st.agg.try_emplace(akey);
+  DfsState::AggEntry& agg = it->second;
+  if (fresh) {
+    if (auto acc = st.pool.alloc(payload.size())) {
+      agg.acc = *acc;
+    } else {
+      // Pool exhausted: fall back to CPU-side aggregation (§VI-B.3). Each
+      // contribution is bounced to the host; the HPU only pays the DMA
+      // issue, the host event carries the aggregation job.
+      agg.fallback = true;
+      ++st.agg_fallbacks;
+      ctx.notify_host(kEvAccumulatorFallback, entry.greq_id);
+    }
+  }
+
+  if (agg.fallback) {
+    // Bounce the contribution to a host staging area; the host software
+    // XORs it (functionally tracked in host_agg) and commits the parity
+    // when the last stream contributed.
+    ctx.dma_to_storage(entry.dest_addr + entry.total_len + data_off,
+                       Bytes(payload.begin(), payload.end()));
+    auto& buf = st.host_agg[akey];
+    if (buf.size() < payload.size()) buf.resize(payload.size(), 0);
+    ec::ReedSolomon::aggregate(buf, payload);
+  } else {
+    ec::ReedSolomon::aggregate(st.pool.buffer(agg.acc), payload);
+  }
+
+  if (++agg.contributions == entry.ec_k) {
+    if (agg.fallback) {
+      auto hit = st.host_agg.find(akey);
+      ctx.dma_to_storage(entry.dest_addr + data_off, std::move(hit->second));
+      st.host_agg.erase(hit);
+    } else {
+      ctx.dma_to_storage(entry.dest_addr + data_off, std::move(st.pool.buffer(agg.acc)));
+      st.pool.release(agg.acc);
+    }
+    st.agg.erase(it);
+  }
+}
+
+void payload_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
+  const MessageKey key{pkt.src, pkt.msg_id};
+  auto it = st.requests.find(key);
+  if (it == st.requests.end() || !it->second.accept) {
+    ctx.charge(cost::kDropInstr, cost::kDropCycles);
+    return;  // packet of a denied/unknown request is dropped (Listing 1)
+  }
+  ReqEntry& entry = it->second;
+
+  if (entry.op == OpType::kRead) {
+    ctx.charge(cost::kDropInstr, cost::kDropCycles);  // nothing per-packet
+    return;
+  }
+
+  const std::size_t skip = pkt.first() ? entry.header_bytes : 0;
+  const ByteSpan payload(pkt.data.data() + skip, pkt.data.size() - skip);
+  const std::uint64_t data_off = pkt.first() ? 0 : pkt.raddr;
+
+  switch (entry.resiliency) {
+    case Resiliency::kNone:
+      ctx.charge(cost::kPhBaseInstr, cost::kPhBaseCycles);
+      ctx.dma_to_storage(entry.dest_addr + data_off, Bytes(payload.begin(), payload.end()));
+      break;
+    case Resiliency::kReplication: {
+      ctx.charge(cost::kPhBaseInstr, cost::kPhBaseCycles);
+      ctx.dma_to_storage(entry.dest_addr + data_off, Bytes(payload.begin(), payload.end()));
+      for (std::size_t i = 0; i < entry.children.size(); ++i) {
+        ctx.charge(i == 0 ? cost::kSendFirstInstr : cost::kSendExtraInstr,
+                   i == 0 ? cost::kSendFirstCycles : cost::kSendExtraCycles);
+        forward_packet(ctx, pkt, entry.header_bytes, entry.children[i].coord,
+                       entry.children[i].first_headers, entry.greq_id);
+      }
+      break;
+    }
+    case Resiliency::kErasureCoding:
+      if (entry.role == EcRole::kData) {
+        payload_ec_data(st, ctx, pkt, entry, payload, data_off);
+      } else {
+        payload_ec_parity(st, ctx, pkt, entry, payload, data_off);
+      }
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- CH ----
+
+void completion_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
+  const MessageKey key{pkt.src, pkt.msg_id};
+  auto it = st.requests.find(key);
+  if (it == st.requests.end()) {
+    ctx.charge(cost::kDropInstr, cost::kDropCycles);
+    st.denied.erase(key);
+    return;
+  }
+  ReqEntry entry = std::move(it->second);
+  st.requests.erase(it);
+  st.table.release(entry.slot);
+
+  if (entry.op == OpType::kRead) {
+    // DFS_request_fini for reads: stream the extent back with
+    // scatter-gather sends — the NIC gathers each packet's payload from
+    // the storage target at transmit time, so the PCIe reads pipeline with
+    // the wire instead of store-and-forwarding the whole extent.
+    const std::size_t mtu = st.cfg.mtu;
+    const std::size_t len = entry.rrh.len;
+    const auto count =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1, (len + mtu - 1) / mtu));
+    ctx.charge(cost::kReadChBaseInstr, cost::kReadChBaseCycles);
+    std::size_t off = 0;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      // Charge the descriptor post per packet so each send issues as soon
+      // as its descriptor is ready (the loop pipelines with the wire).
+      ctx.charge(cost::kReadChPerPktInstr, cost::kReadChPerPktCycles);
+      net::Packet p;
+      p.dst = entry.client;
+      p.opcode = net::Opcode::kRdmaReadResp;
+      p.msg_id = entry.greq_id;
+      p.seq = s;
+      p.pkt_count = count;
+      p.user_tag = entry.greq_id;
+      const std::size_t n = std::min(mtu, len - off);
+      ctx.send_from_storage(std::move(p), entry.rrh.src_addr + off, n);
+      off += n;
+    }
+    return;
+  }
+
+  if (entry.resiliency == Resiliency::kErasureCoding && entry.role == EcRole::kParity) {
+    // One intermediate-parity stream finished; the write is acked once all
+    // ec_k streams contributed (the final parity DMAs are then issued).
+    ctx.charge(cost::kEcChInstr, cost::kEcChCycles);
+    if (++st.parity_msgs_done[entry.greq_id] == entry.ec_k) {
+      st.parity_msgs_done.erase(entry.greq_id);
+      ctx.storage_fence();
+      ++st.acks_sent;
+      send_control(ctx, entry.client, net::Opcode::kAck, entry.greq_id);
+    }
+    return;
+  }
+
+  // DFS_request_fini for writes: flush-then-ack (the explicit persistence
+  // guarantee of §III-B.1).
+  if (entry.resiliency == Resiliency::kErasureCoding) {
+    ctx.charge(cost::kEcChInstr, cost::kEcChCycles);
+  } else {
+    ctx.charge(cost::kChInstr, cost::kChCycles);
+  }
+  ctx.storage_fence();
+  ++st.acks_sent;
+  send_control(ctx, entry.client, net::Opcode::kAck, entry.greq_id);
+}
+
+// ------------------------------------------------------------ cleanup ----
+
+void cleanup_handler(DfsState& st, HandlerCtx& ctx, const MessageKey& key) {
+  ctx.charge(cost::kCleanupInstr, cost::kCleanupCycles);
+  auto it = st.requests.find(key);
+  if (it != st.requests.end()) {
+    st.table.release(it->second.slot);
+    ctx.notify_host(kEvCleanup, it->second.greq_id);
+    st.requests.erase(it);
+  } else {
+    st.denied.erase(key);
+    ctx.notify_host(kEvCleanup, key.msg_id);
+  }
+  ++st.cleanups;
+}
+
+}  // namespace
+
+spin::ExecutionContext make_dfs_context(std::shared_ptr<DfsState> state) {
+  spin::ExecutionContext ctx;
+  ctx.state = state;
+  ctx.state_bytes = state->state_bytes();
+  ctx.header_handler = [state](HandlerCtx& c, const net::Packet& p) {
+    header_handler(*state, c, p);
+  };
+  ctx.payload_handler = [state](HandlerCtx& c, const net::Packet& p) {
+    payload_handler(*state, c, p);
+  };
+  ctx.completion_handler = [state](HandlerCtx& c, const net::Packet& p) {
+    completion_handler(*state, c, p);
+  };
+  ctx.cleanup_handler = [state](HandlerCtx& c, const MessageKey& k) {
+    cleanup_handler(*state, c, k);
+  };
+  return ctx;
+}
+
+}  // namespace nadfs::dfs

@@ -1,0 +1,46 @@
+// The offloaded DFS policies as sPIN handlers (paper §III-B, Listing 1).
+//
+// make_dfs_context() assembles the execution context a storage node installs
+// into its PsPIN device. The handlers implement all three policy classes:
+//
+//   protocol       — capability-based client request authentication (§IV):
+//                    the HH verifies the SipHash-signed capability and the
+//                    requested operation/extent; failures NACK the client
+//                    and mark the message so later packets are dropped.
+//   data movement  — replication (§V): client-driven source-routed ring or
+//                    pipelined-binary-tree broadcast. The HH fills the
+//                    coord_array (children + rewritten first-packet
+//                    headers); every PH forwards its packet to each child,
+//                    so the broadcast is naturally pipelined on packets.
+//   data processing— sPIN-TriEC erasure coding (§VI): data-node PHs encode
+//                    each packet on the fly into m intermediate parity
+//                    packets (GF(2^8) table loop); parity-node PHs
+//                    XOR-aggregate per aggregation-sequence accumulators
+//                    and commit the final parity when all k streams
+//                    contributed. Pool exhaustion falls back to host
+//                    aggregation (§VI-B.3).
+//
+// Reads are offloaded too: the CH DMAs the extent from the storage target
+// and streams the response without host involvement.
+#pragma once
+
+#include <memory>
+
+#include "dfs/state.hpp"
+#include "spin/handler.hpp"
+
+namespace nadfs::dfs {
+
+/// Ranks this node forwards to in a k-node broadcast (a ring is a unary
+/// tree; pbt children are 2r+1, 2r+2).
+std::vector<std::uint8_t> broadcast_children(std::uint8_t rank, std::uint8_t k,
+                                             ReplStrategy strategy);
+
+/// Depth of the pipelined broadcast from rank 0 to the farthest leaf.
+unsigned broadcast_depth(std::uint8_t k, ReplStrategy strategy);
+
+/// Build the DFS execution context over `state`. The returned context's
+/// state_bytes reflects the request table + DFS-wide area budget.
+spin::ExecutionContext make_dfs_context(std::shared_ptr<DfsState> state);
+
+}  // namespace nadfs::dfs

@@ -1,0 +1,112 @@
+// On-NIC request table (paper §III-B.2).
+//
+// Every in-flight write holds a 77-byte descriptor carrying the state the
+// payload handlers need (accept flag, forwarding coordinates, ...). The
+// descriptors live in cluster L1 with L2 as swap-out area: 6 MiB total,
+// bounding concurrency at ~82 K writes per storage node. When the table is
+// full the request is denied and the client retries later.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dfs/wire.hpp"
+
+namespace nadfs::dfs {
+
+class ReqTable {
+ public:
+  explicit ReqTable(std::size_t memory_bytes)
+      : capacity_(memory_bytes / kReqDescriptorBytes) {}
+
+  /// Allocate a descriptor slot; nullopt when the table is exhausted.
+  std::optional<std::uint32_t> alloc() {
+    if (free_.empty()) {
+      if (next_ >= capacity_) {
+        ++denials_;
+        return std::nullopt;
+      }
+      ++in_use_;
+      high_water_ = std::max(high_water_, in_use_);
+      return static_cast<std::uint32_t>(next_++);
+    }
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    high_water_ = std::max(high_water_, in_use_);
+    return slot;
+  }
+
+  void release(std::uint32_t slot) {
+    free_.push_back(slot);
+    --in_use_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t denials_ = 0;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Pool of packet-sized parity accumulators (paper §VI-B.3). Exhaustion
+/// triggers the CPU-aggregation fallback.
+class AccumulatorPool {
+ public:
+  AccumulatorPool(std::size_t pool_bytes, std::size_t acc_bytes)
+      : acc_bytes_(acc_bytes), total_(acc_bytes ? pool_bytes / acc_bytes : 0) {
+    buffers_.resize(total_);
+  }
+
+  std::optional<std::uint32_t> alloc(std::size_t len) {
+    if (free_list_.empty() && next_ >= total_) {
+      ++failures_;
+      return std::nullopt;
+    }
+    std::uint32_t idx;
+    if (!free_list_.empty()) {
+      idx = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(next_++);
+    }
+    buffers_[idx].assign(len, 0);
+    ++in_use_;
+    high_water_ = std::max(high_water_, in_use_);
+    return idx;
+  }
+
+  Bytes& buffer(std::uint32_t idx) { return buffers_[idx]; }
+
+  void release(std::uint32_t idx) {
+    buffers_[idx].clear();
+    free_list_.push_back(idx);
+    --in_use_;
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t failures() const { return failures_; }
+  std::size_t acc_bytes() const { return acc_bytes_; }
+
+ private:
+  std::size_t acc_bytes_;
+  std::size_t total_;
+  std::size_t next_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t failures_ = 0;
+  std::vector<Bytes> buffers_;
+  std::vector<std::uint32_t> free_list_;
+};
+
+}  // namespace nadfs::dfs

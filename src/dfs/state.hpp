@@ -1,0 +1,139 @@
+// DFS NIC-resident state: the functional stand-in for the memory region an
+// execution context owns on the SmartNIC (paper §III-C).
+//
+// Budget (paper §III-B.2): of the 8 MiB of PsPIN memory (4x1 MiB L1 +
+// 4 MiB L2), 6 MiB hold the request table (77 B descriptors -> ~82 K
+// concurrent writes) and 2 MiB hold DFS-wide state: the 64 KiB GF(2^8)
+// multiplication table, the parity accumulator pool, and the shared key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "auth/capability.hpp"
+#include "common/units.hpp"
+#include "dfs/req_table.hpp"
+#include "dfs/wire.hpp"
+#include "ec/gf256.hpp"
+#include "ec/reed_solomon.hpp"
+#include "spin/handler.hpp"
+
+namespace nadfs::dfs {
+
+struct DfsConfig {
+  auth::Key128 key{};                       ///< shared among DFS services
+  std::size_t mtu = 2048;
+  std::size_t req_table_bytes = 6 * MiB;    ///< descriptor area
+  std::size_t dfs_wide_bytes = 2 * MiB;     ///< GF table + accumulator pool + misc
+  std::size_t accumulator_pool_bytes = 1 * MiB;
+  bool validate_requests = true;            ///< false: trusted-client threat model
+};
+
+/// Host event codes raised by the handlers (paper §III-C event queues).
+enum HostEvent : std::uint64_t {
+  kEvAuthFailure = 1,
+  kEvTableFull = 2,
+  kEvCleanup = 3,
+  kEvAccumulatorFallback = 4,
+};
+
+/// Per-request descriptor contents (the functional view of the 77-byte
+/// req_table entry of Listing 1, plus what our C++ handlers keep behind it).
+struct ReqEntry {
+  bool accept = false;
+  std::uint32_t slot = 0;
+  std::uint64_t greq_id = 0;
+  net::NodeId client = net::kInvalidNode;
+  OpType op = OpType::kWrite;
+  std::uint64_t dest_addr = 0;
+  std::uint64_t total_len = 0;
+  std::size_t header_bytes = 0;  ///< DFS header bytes in the first packet
+  Resiliency resiliency = Resiliency::kNone;
+
+  /// coord_array of §V-A: the children this node forwards to, with the
+  /// rewritten first-packet headers prepared by the HH.
+  struct Child {
+    Coord coord;
+    Bytes first_headers;  ///< serialized DFS hdr + rewritten WRH
+  };
+  std::vector<Child> children;
+
+  // Erasure coding.
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_m = 0;
+  EcRole role = EcRole::kData;
+  std::uint8_t data_idx = 0;
+  std::vector<Coord> parity_nodes;
+  std::vector<Bytes> parity_first_headers;  ///< per parity node
+
+  // Reads.
+  ReadRequestHeader rrh;
+};
+
+struct DfsState {
+  explicit DfsState(DfsConfig config)
+      : cfg(config),
+        authority(config.key),
+        table(config.req_table_bytes),
+        pool(config.accumulator_pool_bytes, config.mtu) {}
+
+  DfsConfig cfg;
+  auth::CapabilityAuthority authority;
+  ReqTable table;
+
+  /// Live request descriptors, keyed by the message that created them.
+  std::unordered_map<spin::MessageKey, ReqEntry, spin::MessageKeyHash> requests;
+  /// Requests denied at HH time (no slot / bad capability): payload and
+  /// completion packets of these messages are dropped.
+  std::unordered_set<spin::MessageKey, spin::MessageKeyHash> denied;
+
+  // ---- erasure coding aggregation (paper §VI-B.3) ----
+  AccumulatorPool pool;
+  struct AggKey {
+    std::uint64_t greq = 0;
+    std::uint32_t seq = 0;
+    bool operator==(const AggKey&) const = default;
+  };
+  struct AggKeyHash {
+    std::size_t operator()(const AggKey& k) const {
+      return std::hash<std::uint64_t>()(k.greq * 0x9E3779B97F4A7C15ull + k.seq);
+    }
+  };
+  struct AggEntry {
+    std::uint32_t acc = 0;       ///< accumulator index
+    std::uint8_t contributions = 0;
+    bool fallback = false;       ///< pool was empty: host aggregates
+  };
+  std::unordered_map<AggKey, AggEntry, AggKeyHash> agg;
+  /// Fallback aggregation buffers living in host memory (pool exhausted):
+  /// the host software XORs contributions the handlers bounce to it.
+  std::unordered_map<AggKey, Bytes, AggKeyHash> host_agg;
+  /// Completed intermediate-parity messages per greq (parity role): the ack
+  /// goes out when all ec_k streams finished.
+  std::unordered_map<std::uint64_t, std::uint32_t> parity_msgs_done;
+
+  /// RS codec cache by (k << 8 | m).
+  const ec::ReedSolomon& codec(unsigned k, unsigned m) {
+    auto& slot = codecs_[(k << 8) | m];
+    if (!slot) slot = std::make_unique<ec::ReedSolomon>(k, m);
+    return *slot;
+  }
+
+  // ---- counters surfaced to tests/benches ----
+  std::uint64_t auth_failures = 0;
+  std::uint64_t table_denials = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t cleanups = 0;
+  std::uint64_t agg_fallbacks = 0;
+
+  /// NIC memory the execution context declares at install time.
+  std::size_t state_bytes() const { return cfg.req_table_bytes + cfg.dfs_wide_bytes; }
+
+ private:
+  std::unordered_map<unsigned, std::unique_ptr<ec::ReedSolomon>> codecs_;
+};
+
+}  // namespace nadfs::dfs

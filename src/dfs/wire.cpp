@@ -1,0 +1,216 @@
+#include "dfs/wire.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nadfs::dfs {
+
+const char* repl_strategy_name(ReplStrategy s) {
+  switch (s) {
+    case ReplStrategy::kRing: return "ring";
+    case ReplStrategy::kPbt: return "pbt";
+  }
+  return "?";
+}
+
+void DfsHeader::serialize(ByteWriter& w) const {
+  w.put(static_cast<std::uint8_t>(op));
+  w.put(greq_id);
+  w.put(client_node);
+  cap.serialize(w);
+}
+
+DfsHeader DfsHeader::deserialize(ByteReader& r) {
+  DfsHeader h;
+  h.op = static_cast<OpType>(r.get<std::uint8_t>());
+  h.greq_id = r.get<std::uint64_t>();
+  h.client_node = r.get<net::NodeId>();
+  h.cap = auth::Capability::deserialize(r);
+  return h;
+}
+
+std::size_t WriteRequestHeader::wire_bytes() const {
+  std::size_t n = 8 + 8 + 1;  // dest, len, resiliency
+  switch (resiliency) {
+    case Resiliency::kNone:
+      break;
+    case Resiliency::kReplication:
+      n += 1 + 1 + 1 + replicas.size() * Coord::kWireBytes;  // strategy, rank, count
+      break;
+    case Resiliency::kErasureCoding:
+      n += 1 + 1 + 1 + 1 + 1 + parity_nodes.size() * Coord::kWireBytes;
+      break;
+  }
+  return n;
+}
+
+namespace {
+void put_coords(ByteWriter& w, const std::vector<Coord>& coords) {
+  w.put(static_cast<std::uint8_t>(coords.size()));
+  for (const auto& c : coords) {
+    w.put(c.node);
+    w.put(c.addr);
+  }
+}
+
+std::vector<Coord> get_coords(ByteReader& r) {
+  const auto n = r.get<std::uint8_t>();
+  std::vector<Coord> coords(n);
+  for (auto& c : coords) {
+    c.node = r.get<net::NodeId>();
+    c.addr = r.get<std::uint64_t>();
+  }
+  return coords;
+}
+}  // namespace
+
+void WriteRequestHeader::serialize(ByteWriter& w) const {
+  w.put(dest_addr);
+  w.put(total_len);
+  w.put(static_cast<std::uint8_t>(resiliency));
+  switch (resiliency) {
+    case Resiliency::kNone:
+      break;
+    case Resiliency::kReplication:
+      w.put(static_cast<std::uint8_t>(strategy));
+      w.put(virtual_rank);
+      put_coords(w, replicas);
+      break;
+    case Resiliency::kErasureCoding:
+      w.put(ec_k);
+      w.put(ec_m);
+      w.put(static_cast<std::uint8_t>(role));
+      w.put(data_idx);
+      put_coords(w, parity_nodes);
+      break;
+  }
+}
+
+WriteRequestHeader WriteRequestHeader::deserialize(ByteReader& r) {
+  WriteRequestHeader h;
+  h.dest_addr = r.get<std::uint64_t>();
+  h.total_len = r.get<std::uint64_t>();
+  h.resiliency = static_cast<Resiliency>(r.get<std::uint8_t>());
+  switch (h.resiliency) {
+    case Resiliency::kNone:
+      break;
+    case Resiliency::kReplication:
+      h.strategy = static_cast<ReplStrategy>(r.get<std::uint8_t>());
+      h.virtual_rank = r.get<std::uint8_t>();
+      h.replicas = get_coords(r);
+      break;
+    case Resiliency::kErasureCoding:
+      h.ec_k = r.get<std::uint8_t>();
+      h.ec_m = r.get<std::uint8_t>();
+      h.role = static_cast<EcRole>(r.get<std::uint8_t>());
+      h.data_idx = r.get<std::uint8_t>();
+      h.parity_nodes = get_coords(r);
+      break;
+  }
+  return h;
+}
+
+void ReadRequestHeader::serialize(ByteWriter& w) const {
+  w.put(src_addr);
+  w.put(len);
+}
+
+ReadRequestHeader ReadRequestHeader::deserialize(ByteReader& r) {
+  ReadRequestHeader h;
+  h.src_addr = r.get<std::uint64_t>();
+  h.len = r.get<std::uint32_t>();
+  return h;
+}
+
+Bytes serialize_write_headers(const DfsHeader& dfs, const WriteRequestHeader& wrh) {
+  Bytes out;
+  ByteWriter w(out);
+  dfs.serialize(w);
+  wrh.serialize(w);
+  return out;
+}
+
+ParsedRequest parse_request(ByteSpan first_packet_payload) {
+  ByteReader r(first_packet_payload);
+  ParsedRequest out;
+  out.dfs = DfsHeader::deserialize(r);
+  if (out.dfs.op == OpType::kWrite) {
+    out.wrh = WriteRequestHeader::deserialize(r);
+  } else {
+    out.rrh = ReadRequestHeader::deserialize(r);
+  }
+  out.header_bytes = r.position();
+  return out;
+}
+
+std::vector<net::Packet> build_write_packets(net::NodeId src, net::NodeId dst, std::size_t mtu,
+                                             const DfsHeader& dfs, const WriteRequestHeader& wrh,
+                                             ByteSpan data) {
+  Bytes first;
+  ByteWriter w(first);
+  dfs.serialize(w);
+  wrh.serialize(w);
+  if (first.size() >= mtu) {
+    throw std::length_error("build_write_packets: DFS headers exceed a single packet");
+  }
+
+  const std::size_t first_data = std::min(mtu - first.size(), data.size());
+  const std::size_t rest = data.size() - first_data;
+  const auto count = static_cast<std::uint32_t>(1 + (rest + mtu - 1) / mtu);
+
+  std::vector<net::Packet> pkts;
+  pkts.reserve(count);
+
+  net::Packet p0;
+  p0.src = src;
+  p0.dst = dst;
+  p0.opcode = net::Opcode::kRdmaWrite;
+  p0.msg_id = dfs.greq_id;
+  p0.seq = 0;
+  p0.pkt_count = count;
+  p0.raddr = 0;  // data offset
+  p0.user_tag = dfs.greq_id;
+  p0.data = std::move(first);
+  p0.data.insert(p0.data.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(first_data));
+  pkts.push_back(std::move(p0));
+
+  std::size_t off = first_data;
+  for (std::uint32_t s = 1; s < count; ++s) {
+    net::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.opcode = net::Opcode::kRdmaWrite;
+    p.msg_id = dfs.greq_id;
+    p.seq = s;
+    p.pkt_count = count;
+    p.raddr = off;
+    p.user_tag = dfs.greq_id;
+    const std::size_t n = std::min(mtu, data.size() - off);
+    p.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    pkts.push_back(std::move(p));
+  }
+  return pkts;
+}
+
+std::vector<net::Packet> build_read_packets(net::NodeId src, net::NodeId dst,
+                                            const DfsHeader& dfs, const ReadRequestHeader& rrh) {
+  Bytes payload;
+  ByteWriter w(payload);
+  dfs.serialize(w);
+  rrh.serialize(w);
+
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.opcode = net::Opcode::kRdmaWrite;  // read *requests* ride the write path into sPIN
+  p.msg_id = dfs.greq_id;
+  p.seq = 0;
+  p.pkt_count = 1;
+  p.user_tag = dfs.greq_id;
+  p.data = std::move(payload);
+  return {std::move(p)};
+}
+
+}  // namespace nadfs::dfs

@@ -1,0 +1,119 @@
+// DFS wire formats (paper Fig. 3).
+//
+// A write request is [RDMA hdr | DFS hdr | WRH | data...]; only the first
+// packet of a multi-packet write carries the DFS-specific headers, the rest
+// are RDMA header + data continuation. A read request is
+// [RDMA hdr | DFS hdr | RRH]. The RDMA header is the transport metadata on
+// net::Packet; DFS header and WRH/RRH are serialized into the first
+// packet's payload and parsed by the sPIN handlers (or the storage CPU for
+// the baseline protocols, which share this codec).
+//
+// The WRH carries the resiliency strategy option (§VI-B: replication and EC
+// are mutually exclusive per write) followed by the strategy parameters:
+// replication strategy + virtual rank + replica coordinates (§V-A), or the
+// RS(k,m) scheme, the node's role, its data-chunk index, and the parity
+// node coordinates (§VI-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auth/capability.hpp"
+#include "common/bytes.hpp"
+#include "net/packet.hpp"
+
+namespace nadfs::dfs {
+
+enum class OpType : std::uint8_t { kWrite = 0, kRead = 1 };
+enum class Resiliency : std::uint8_t { kNone = 0, kReplication = 1, kErasureCoding = 2 };
+enum class ReplStrategy : std::uint8_t { kRing = 0, kPbt = 1 };
+enum class EcRole : std::uint8_t { kData = 0, kParity = 1 };
+
+const char* repl_strategy_name(ReplStrategy s);
+
+/// Network + storage coordinates of one replica / parity target.
+struct Coord {
+  net::NodeId node = net::kInvalidNode;
+  std::uint64_t addr = 0;
+
+  bool operator==(const Coord&) const = default;
+  static constexpr std::size_t kWireBytes = 4 + 8;
+};
+
+/// Generic DFS header: request identity + the capability that authenticates
+/// it (paper §III-A, §IV).
+struct DfsHeader {
+  OpType op = OpType::kWrite;
+  std::uint64_t greq_id = 0;        ///< globally unique request id
+  net::NodeId client_node = net::kInvalidNode;  ///< where acks/data go back
+  auth::Capability cap;
+
+  static constexpr std::size_t kWireBytes = 1 + 8 + 4 + auth::Capability::kWireBytes;
+  void serialize(ByteWriter& w) const;
+  static DfsHeader deserialize(ByteReader& r);
+};
+
+/// Write request header.
+struct WriteRequestHeader {
+  std::uint64_t dest_addr = 0;  ///< storage address at the receiving node
+  std::uint64_t total_len = 0;  ///< payload bytes of the whole write
+  Resiliency resiliency = Resiliency::kNone;
+
+  // --- replication parameters (resiliency == kReplication) ---
+  ReplStrategy strategy = ReplStrategy::kRing;
+  std::uint8_t virtual_rank = 0;    ///< this node's position in the broadcast tree
+  std::vector<Coord> replicas;      ///< all k replica coordinates, rank order
+
+  // --- erasure coding parameters (resiliency == kErasureCoding) ---
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_m = 0;
+  EcRole role = EcRole::kData;
+  std::uint8_t data_idx = 0;        ///< which data chunk this stream carries
+  std::vector<Coord> parity_nodes;  ///< m parity coordinates
+
+  std::size_t wire_bytes() const;
+  void serialize(ByteWriter& w) const;
+  static WriteRequestHeader deserialize(ByteReader& r);
+};
+
+/// Read request header.
+struct ReadRequestHeader {
+  std::uint64_t src_addr = 0;
+  std::uint32_t len = 0;
+
+  static constexpr std::size_t kWireBytes = 8 + 4;
+  void serialize(ByteWriter& w) const;
+  static ReadRequestHeader deserialize(ByteReader& r);
+};
+
+/// Parsed first packet of a request.
+struct ParsedRequest {
+  DfsHeader dfs;
+  WriteRequestHeader wrh;  // valid when dfs.op == kWrite
+  ReadRequestHeader rrh;   // valid when dfs.op == kRead
+  std::size_t header_bytes = 0;  ///< offset of the data in the first packet
+};
+
+ParsedRequest parse_request(ByteSpan first_packet_payload);
+
+/// Build the packet train for a DFS write. `data_offset` semantics: each
+/// packet's `raddr` carries the byte offset of its payload within the
+/// write's data (handlers add the WRH's dest_addr). msg_id is set to the
+/// request's greq_id so forwarded hops keep globally unique message keys.
+std::vector<net::Packet> build_write_packets(net::NodeId src, net::NodeId dst, std::size_t mtu,
+                                             const DfsHeader& dfs, const WriteRequestHeader& wrh,
+                                             ByteSpan data);
+
+/// Build the single-packet train for a DFS read request.
+std::vector<net::Packet> build_read_packets(net::NodeId src, net::NodeId dst,
+                                            const DfsHeader& dfs, const ReadRequestHeader& rrh);
+
+/// Serialize [DFS header | WRH] — the first-packet header block. Used by
+/// forwarding paths (sPIN handlers and the host DFS service) to rewrite a
+/// request for the next hop.
+Bytes serialize_write_headers(const DfsHeader& dfs, const WriteRequestHeader& wrh);
+
+/// Per-request NIC descriptor footprint (paper §III-B.2: 77 bytes).
+inline constexpr std::size_t kReqDescriptorBytes = 77;
+
+}  // namespace nadfs::dfs

@@ -1,0 +1,63 @@
+#include "ec/gf256.hpp"
+
+namespace nadfs::ec {
+
+namespace {
+constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+}
+
+Gf256::Gf256() {
+  // Build exp/log tables from the generator 2 (primitive for 0x11D).
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  log_[0] = 0;  // undefined; never consulted for zero operands
+
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      if (a == 0 || b == 0) {
+        mul_[a][b] = 0;
+      } else {
+        mul_[a][b] = exp_[(log_[a] + log_[b]) % 255];
+      }
+    }
+  }
+
+  inv_[0] = 0;
+  for (unsigned a = 1; a < 256; ++a) {
+    inv_[a] = exp_[(255 - log_[a]) % 255];
+  }
+}
+
+const Gf256& Gf256::instance() {
+  static const Gf256 gf;
+  return gf;
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  return exp_[(static_cast<unsigned>(log_[a]) * e) % 255];
+}
+
+void Gf256::mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+  const auto& row = mul_[coeff];
+  const std::size_t n = std::min(dst.size(), src.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ row[src[i]]);
+  }
+}
+
+void Gf256::mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+  const auto& row = mul_[coeff];
+  const std::size_t n = std::min(dst.size(), src.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = row[src[i]];
+  }
+}
+
+}  // namespace nadfs::ec

@@ -1,0 +1,55 @@
+// Galois field GF(2^8) arithmetic with the AES/Reed-Solomon-conventional
+// reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+//
+// The paper's EC handlers use a 256x256-byte multiplication lookup table
+// copied into NIC memory at DFS-initialization time (§VI-B.2); we build the
+// same table so handler byte loops do exactly one table load per byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nadfs::ec {
+
+class Gf256 {
+ public:
+  /// Singleton table set (64 KiB mul table + log/exp); immutable after init.
+  static const Gf256& instance();
+
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const { return mul_[a][b]; }
+
+  std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return static_cast<std::uint8_t>(a ^ b);
+  }
+
+  /// Multiplicative inverse; inv(0) is undefined (returns 0).
+  std::uint8_t inv(std::uint8_t a) const { return inv_[a]; }
+
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const { return mul_[a][inv_[b]]; }
+
+  std::uint8_t exp(unsigned e) const { return exp_[e % 255]; }
+  std::uint8_t log(std::uint8_t a) const { return log_[a]; }
+
+  std::uint8_t pow(std::uint8_t a, unsigned e) const;
+
+  /// dst[i] ^= coeff * src[i] — the inner loop of RS encoding, shared by the
+  /// host encoder and the sPIN payload handlers.
+  void mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
+
+  /// dst[i] = coeff * src[i].
+  void mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
+
+  /// Size of the on-NIC multiplication table (resident in NIC L2, §VI-B.2).
+  static constexpr std::size_t kTableBytes = 256 * 256;
+
+ private:
+  Gf256();
+  std::array<std::array<std::uint8_t, 256>, 256> mul_;
+  std::array<std::uint8_t, 256> inv_;
+  std::array<std::uint8_t, 255> exp_;
+  std::array<std::uint8_t, 256> log_;
+};
+
+}  // namespace nadfs::ec

@@ -1,0 +1,156 @@
+#include "ec/reed_solomon.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace nadfs::ec {
+
+ReedSolomon::ReedSolomon(unsigned k, unsigned m) : k_(k), m_(m) {
+  if (k == 0 || m == 0 || k + m > 256) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k, 1 <= m, k+m <= 256");
+  }
+  const auto& gf = Gf256::instance();
+  matrix_.assign(static_cast<std::size_t>(k + m) * k, 0);
+  // Identity rows for the systematic part.
+  for (unsigned r = 0; r < k; ++r) {
+    matrix_[static_cast<std::size_t>(r) * k + r] = 1;
+  }
+  // Cauchy rows: c[i][j] = 1 / (x_i ^ y_j), x_i = k + i, y_j = j. All x_i and
+  // y_j are distinct elements of GF(256) because k + m <= 256, so every
+  // denominator is nonzero and every square submatrix is invertible.
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < k; ++j) {
+      const auto denom = static_cast<std::uint8_t>((k + i) ^ j);
+      matrix_[static_cast<std::size_t>(k + i) * k + j] = gf.inv(denom);
+    }
+  }
+}
+
+std::uint8_t ReedSolomon::parity_coefficient(unsigned parity_idx, unsigned data_idx) const {
+  if (parity_idx >= m_ || data_idx >= k_) {
+    throw std::out_of_range("ReedSolomon::parity_coefficient");
+  }
+  return matrix_[static_cast<std::size_t>(k_ + parity_idx) * k_ + data_idx];
+}
+
+std::vector<Bytes> ReedSolomon::encode(const std::vector<Bytes>& data) const {
+  if (data.size() != k_) {
+    throw std::invalid_argument("ReedSolomon::encode: expected k data chunks");
+  }
+  const std::size_t len = data.front().size();
+  for (const auto& d : data) {
+    if (d.size() != len) {
+      throw std::invalid_argument("ReedSolomon::encode: chunks must have equal length");
+    }
+  }
+  const auto& gf = Gf256::instance();
+  std::vector<Bytes> parity(m_, Bytes(len, 0));
+  for (unsigned i = 0; i < m_; ++i) {
+    for (unsigned j = 0; j < k_; ++j) {
+      gf.mul_add(parity[i], data[j], parity_coefficient(i, j));
+    }
+  }
+  return parity;
+}
+
+std::vector<Bytes> ReedSolomon::encode_intermediate(unsigned data_idx, ByteSpan chunk) const {
+  if (data_idx >= k_) {
+    throw std::out_of_range("ReedSolomon::encode_intermediate: bad data index");
+  }
+  const auto& gf = Gf256::instance();
+  std::vector<Bytes> out(m_, Bytes(chunk.size(), 0));
+  for (unsigned i = 0; i < m_; ++i) {
+    gf.mul_into(out[i], chunk, parity_coefficient(i, data_idx));
+  }
+  return out;
+}
+
+void ReedSolomon::aggregate(MutByteSpan acc, ByteSpan intermediate) {
+  const std::size_t n = std::min(acc.size(), intermediate.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = static_cast<std::uint8_t>(acc[i] ^ intermediate[i]);
+  }
+}
+
+std::optional<std::vector<Bytes>> ReedSolomon::decode(
+    const std::vector<std::pair<unsigned, Bytes>>& present) const {
+  if (present.size() < k_) return std::nullopt;
+  std::set<unsigned> seen;
+  for (const auto& [idx, bytes] : present) {
+    if (idx >= k_ + m_ || !seen.insert(idx).second) return std::nullopt;
+    (void)bytes;
+  }
+
+  // Use the first k supplied chunks; build the k x k submatrix of their rows.
+  const std::size_t len = present.front().second.size();
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * k_);
+  for (unsigned r = 0; r < k_; ++r) {
+    const unsigned row = present[r].first;
+    if (present[r].second.size() != len) return std::nullopt;
+    for (unsigned c = 0; c < k_; ++c) {
+      sub[static_cast<std::size_t>(r) * k_ + c] = matrix_[static_cast<std::size_t>(row) * k_ + c];
+    }
+  }
+  if (!invert(sub, k_)) return std::nullopt;
+
+  const auto& gf = Gf256::instance();
+  std::vector<Bytes> data(k_, Bytes(len, 0));
+  for (unsigned r = 0; r < k_; ++r) {
+    for (unsigned c = 0; c < k_; ++c) {
+      gf.mul_add(data[r], present[c].second, sub[static_cast<std::size_t>(r) * k_ + c]);
+    }
+  }
+  return data;
+}
+
+bool ReedSolomon::invert(std::vector<std::uint8_t>& mat, unsigned n) {
+  const auto& gf = Gf256::instance();
+  // Augment with identity and run Gauss-Jordan.
+  std::vector<std::uint8_t> aug(static_cast<std::size_t>(n) * 2 * n, 0);
+  for (unsigned r = 0; r < n; ++r) {
+    for (unsigned c = 0; c < n; ++c) {
+      aug[static_cast<std::size_t>(r) * 2 * n + c] = mat[static_cast<std::size_t>(r) * n + c];
+    }
+    aug[static_cast<std::size_t>(r) * 2 * n + n + r] = 1;
+  }
+
+  for (unsigned col = 0; col < n; ++col) {
+    // Find pivot.
+    unsigned pivot = col;
+    while (pivot < n && aug[static_cast<std::size_t>(pivot) * 2 * n + col] == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (unsigned c = 0; c < 2 * n; ++c) {
+        std::swap(aug[static_cast<std::size_t>(pivot) * 2 * n + c],
+                  aug[static_cast<std::size_t>(col) * 2 * n + c]);
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t pv = aug[static_cast<std::size_t>(col) * 2 * n + col];
+    const std::uint8_t pv_inv = gf.inv(pv);
+    for (unsigned c = 0; c < 2 * n; ++c) {
+      auto& cell = aug[static_cast<std::size_t>(col) * 2 * n + c];
+      cell = gf.mul(cell, pv_inv);
+    }
+    // Eliminate other rows.
+    for (unsigned r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = aug[static_cast<std::size_t>(r) * 2 * n + col];
+      if (f == 0) continue;
+      for (unsigned c = 0; c < 2 * n; ++c) {
+        auto& cell = aug[static_cast<std::size_t>(r) * 2 * n + c];
+        cell = static_cast<std::uint8_t>(
+            cell ^ gf.mul(f, aug[static_cast<std::size_t>(col) * 2 * n + c]));
+      }
+    }
+  }
+
+  for (unsigned r = 0; r < n; ++r) {
+    for (unsigned c = 0; c < n; ++c) {
+      mat[static_cast<std::size_t>(r) * n + c] = aug[static_cast<std::size_t>(r) * 2 * n + n + c];
+    }
+  }
+  return true;
+}
+
+}  // namespace nadfs::ec

@@ -1,0 +1,69 @@
+// Systematic Reed-Solomon RS(k, m) erasure codes over GF(2^8).
+//
+// Encoding matrix: top k rows identity (systematic — data chunks stored
+// verbatim, readable without decoding, §VI of the paper), bottom m rows
+// drawn from a Cauchy matrix, which guarantees every k x k submatrix of the
+// full (k+m) x k matrix is invertible — the maximum-distance-separable
+// property the paper relies on ("can survive up to m corrupt chunks").
+//
+// Also exposes the *tripartite* view used by TriEC/sPIN-TriEC: data node j
+// computes m intermediate parities coeff(i, j) * d_j, and parity node i
+// XOR-aggregates the k intermediates for row i (§VI-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ec/gf256.hpp"
+
+namespace nadfs::ec {
+
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k, 1 <= m, k + m <= 256 (field size limit).
+  ReedSolomon(unsigned k, unsigned m);
+
+  unsigned k() const { return k_; }
+  unsigned m() const { return m_; }
+
+  /// Coefficient multiplying data chunk `data_idx` in parity row `parity_idx`.
+  std::uint8_t parity_coefficient(unsigned parity_idx, unsigned data_idx) const;
+
+  /// Full encode: data[k] chunks (equal length) -> m parity chunks.
+  std::vector<Bytes> encode(const std::vector<Bytes>& data) const;
+
+  /// TriEC step 1 (at a data node): one data chunk -> its m intermediate
+  /// parity contributions.
+  std::vector<Bytes> encode_intermediate(unsigned data_idx, ByteSpan chunk) const;
+
+  /// TriEC step 2 (at parity node `parity_idx`): XOR-aggregate intermediate
+  /// contributions. `acc` accumulates in place.
+  static void aggregate(MutByteSpan acc, ByteSpan intermediate);
+
+  /// Recover the original k data chunks from any k of the k+m coded chunks.
+  /// `present` holds (chunk_index, bytes) pairs where chunk_index in
+  /// [0, k+m): indices < k are data chunks, >= k are parity rows.
+  /// Returns nullopt if fewer than k chunks are supplied or indices repeat.
+  std::optional<std::vector<Bytes>> decode(
+      const std::vector<std::pair<unsigned, Bytes>>& present) const;
+
+  /// Number of GF multiply-accumulate byte operations a data node performs
+  /// per payload byte when streaming (m rows) — the paper's "5 instructions
+  /// per byte for RS(3,2), 7 for RS(6,3)" cost driver.
+  unsigned parity_rows() const { return m_; }
+
+ private:
+  /// Invert a k x k matrix over GF(2^8) (Gauss-Jordan). Returns false if
+  /// singular (cannot happen for Cauchy-derived submatrices; kept as a
+  /// defensive check).
+  static bool invert(std::vector<std::uint8_t>& mat, unsigned n);
+
+  unsigned k_;
+  unsigned m_;
+  // Row-major (k+m) x k encode matrix.
+  std::vector<std::uint8_t> matrix_;
+};
+
+}  // namespace nadfs::ec

@@ -1,0 +1,35 @@
+#include "host/cpu.hpp"
+
+namespace nadfs::host {
+
+Cpu::Cpu(sim::Simulator& simulator, CpuConfig config) : sim_(simulator), config_(config) {
+  cores_.reserve(config_.cores);
+  for (unsigned i = 0; i < config_.cores; ++i) {
+    // Core "bandwidth" is irrelevant for reserve_time; memcpy cost is charged
+    // through reserve() at the memcpy bandwidth.
+    cores_.push_back(std::make_unique<sim::GapServer>(sim_, config_.memcpy_bw));
+  }
+}
+
+sim::GapServer& Cpu::pick_core() {
+  sim::GapServer* best = cores_.front().get();
+  for (auto& core : cores_) {
+    if (core->horizon() < best->horizon()) best = core.get();
+  }
+  return *best;
+}
+
+void Cpu::run(TimePs cost, TimePs earliest, sim::EventFn fn) {
+  const auto w = pick_core().reserve_time(cost, earliest);
+  sim_.schedule_at(w.end, std::move(fn));
+}
+
+TimePs Cpu::copy(std::size_t bytes, TimePs earliest) {
+  return pick_core().reserve(bytes, earliest).end;
+}
+
+TimePs Cpu::busy(TimePs cost, TimePs earliest) {
+  return pick_core().reserve_time(cost, earliest).end;
+}
+
+}  // namespace nadfs::host

@@ -1,0 +1,61 @@
+// Host CPU model for the storage-node (and client) software paths.
+//
+// The paper's CPU-centric baselines (Fig. 1b) lose to the SmartNIC on
+// exactly three cost terms, all modelled here or at the NIC boundary:
+//   1. notification latency (NIC completion -> CPU handler running),
+//   2. CPU time to run the policy (validate, orchestrate forwarding),
+//   3. memory movement (bounce-buffer copies at a finite memcpy bandwidth).
+// Cores are run-to-completion task servers; tasks queue FIFO per core and
+// are placed on the earliest-available core.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace nadfs::host {
+
+struct CpuConfig {
+  unsigned cores = 4;
+  /// NIC completion -> handler start (poll-mode driver, no interrupt).
+  TimePs notify_latency = ns(300);
+  /// Fixed cost to dispatch an RPC request to its handler.
+  TimePs rpc_dispatch = ns(200);
+  /// Capability validation on the host (same check the sPIN HH does).
+  TimePs validate_cost = ns(150);
+  /// Host memcpy bandwidth: 25 GB/s, deliberately below the 50 GB/s
+  /// (400 Gbit/s) line rate — the bounce-buffer penalty of §IV-A.
+  Bandwidth memcpy_bw = Bandwidth::from_gbytes_per_sec(25.0);
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& simulator, CpuConfig config = {});
+
+  const CpuConfig& config() const { return config_; }
+
+  /// Run `fn` after occupying a core for `cost`, starting no earlier than
+  /// `earliest`. `fn` fires when the task *completes*.
+  void run(TimePs cost, TimePs earliest, sim::EventFn fn);
+
+  /// Reserve CPU time for a memcpy of `bytes`; returns the completion time.
+  /// (Copies occupy a core: that is the point of the model.)
+  TimePs copy(std::size_t bytes, TimePs earliest = 0);
+
+  /// Reserve a fixed-cost slot; returns the completion time.
+  TimePs busy(TimePs cost, TimePs earliest = 0);
+
+  TimePs memcpy_time(std::size_t bytes) const { return config_.memcpy_bw.transfer_time(bytes); }
+
+ private:
+  sim::GapServer& pick_core();
+
+  sim::Simulator& sim_;
+  CpuConfig config_;
+  std::vector<std::unique_ptr<sim::GapServer>> cores_;
+};
+
+}  // namespace nadfs::host

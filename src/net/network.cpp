@@ -1,0 +1,75 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nadfs::net {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kRdmaWrite: return "RDMA_WRITE";
+    case Opcode::kRdmaRead: return "RDMA_READ";
+    case Opcode::kRdmaReadResp: return "RDMA_READ_RESP";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kTransportAck: return "T_ACK";
+    case Opcode::kAck: return "ACK";
+    case Opcode::kNack: return "NACK";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& simulator, NetworkConfig config)
+    : sim_(simulator), config_(config) {}
+
+NodeId Network::add_node(PacketSink& sink) {
+  NodePort port;
+  port.sink = &sink;
+  port.uplink = std::make_unique<sim::GapServer>(sim_, config_.link_bandwidth);
+  port.downlink = std::make_unique<sim::GapServer>(sim_, config_.link_bandwidth);
+  nodes_.push_back(std::move(port));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+sim::Window Network::inject(Packet pkt, TimePs earliest) {
+  if (pkt.src >= nodes_.size() || pkt.dst >= nodes_.size()) {
+    throw std::out_of_range("Network::inject: unknown node id");
+  }
+  if (pkt.data.size() > config_.mtu) {
+    throw std::length_error("Network::inject: packet payload exceeds MTU");
+  }
+  auto& src = nodes_[pkt.src];
+  auto& dst = nodes_[pkt.dst];
+  const std::size_t wire = pkt.wire_size();
+
+  const auto up = src.uplink->reserve(wire, earliest);
+  // The packet is fully received at the switch input at up.end + link
+  // latency. The downlink is reserved *at that moment* (not eagerly at
+  // injection time), so packets from different sources interleave on a
+  // contended output port in arrival order — the behaviour that matters for
+  // incast onto a storage node.
+  const TimePs at_switch = up.end + config_.link_latency + config_.switch_latency;
+  auto* dstp = &dst;
+  const TimePs link_latency = config_.link_latency;
+  sim_.schedule_at(at_switch, [this, dstp, wire, link_latency, p = std::move(pkt)]() mutable {
+    const auto down = dstp->downlink->reserve(wire);
+    const TimePs arrival = down.end + link_latency;
+    auto* sink = dstp->sink;
+    auto* delivered = &dstp->delivered_payload;
+    const std::size_t payload = p.data.size();
+    sim_.schedule_at(arrival, [sink, delivered, payload, p2 = std::move(p)]() mutable {
+      *delivered += payload;
+      sink->on_packet(std::move(p2));
+    });
+  });
+  return up;
+}
+
+TimePs Network::uplink_free_at(NodeId node) const {
+  return nodes_.at(node).uplink->horizon();
+}
+
+std::uint64_t Network::delivered_payload_bytes(NodeId node) const {
+  return nodes_.at(node).delivered_payload;
+}
+
+}  // namespace nadfs::net

@@ -1,0 +1,69 @@
+// Star-topology packet network: every node hangs off one output-queued
+// switch via full-duplex links. Matches the paper's SST configuration:
+// 400 Gbit/s links, 20 ns link latency, MTU 2048 B (DESIGN.md §1).
+//
+// Timing model per packet (store-and-forward):
+//   uplink serialization (FIFO per source) + link latency
+//   + switch latency + downlink serialization (FIFO per destination)
+//   + link latency.
+// FIFO serialization windows are reserved on shared FifoServers, so port
+// contention (many-to-one incast on a storage node) emerges naturally.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace nadfs::net {
+
+struct NetworkConfig {
+  Bandwidth link_bandwidth = Bandwidth::from_gbps(400.0);
+  TimePs link_latency = ns(20);
+  TimePs switch_latency = ns(50);
+  std::size_t mtu = 2048;  ///< max payload bytes per packet
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, NetworkConfig config = {});
+
+  /// Attach a node; the sink receives packets addressed to it.
+  NodeId add_node(PacketSink& sink);
+
+  std::size_t mtu() const { return config_.mtu; }
+  const NetworkConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Inject a packet at its source node. Serialization starts no earlier
+  /// than `earliest` (used by NICs to order packets after local processing).
+  /// Returns the uplink serialization window: `start` is when the wire picks
+  /// the packet up, `end` when the uplink is free for the next packet.
+  sim::Window inject(Packet pkt, TimePs earliest = 0);
+
+  /// Earliest time node's uplink could accept a new packet.
+  TimePs uplink_free_at(NodeId node) const;
+
+  /// Total payload bytes delivered to `node` so far (goodput accounting).
+  std::uint64_t delivered_payload_bytes(NodeId node) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct NodePort {
+    PacketSink* sink;
+    std::unique_ptr<sim::GapServer> uplink;    // node -> switch
+    std::unique_ptr<sim::GapServer> downlink;  // switch -> node
+    std::uint64_t delivered_payload = 0;
+  };
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  // deque: NodePort references stay valid when nodes are added later (the
+  // deferred downlink reservation captures a pointer into this container).
+  std::deque<NodePort> nodes_;
+};
+
+}  // namespace nadfs::net

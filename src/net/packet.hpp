@@ -1,0 +1,70 @@
+// On-wire packet representation.
+//
+// Transport-level fields (the "RDMA header" of Fig. 3 — think RoCEv2
+// Eth+IP+UDP+BTH) are kept as typed metadata and accounted as
+// kTransportHeaderBytes of wire overhead. DFS-specific headers (DFS header,
+// WRH/RRH) ride *inside* the payload bytes of the first packet of a message
+// and are parsed by the sPIN handlers, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nadfs::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// RoCEv2-style framing overhead: Eth(14) + IPv4(20) + UDP(8) + BTH(12) +
+/// iCRC(4) = 58 bytes per packet.
+inline constexpr std::size_t kTransportHeaderBytes = 58;
+
+enum class Opcode : std::uint8_t {
+  kRdmaWrite,     ///< one-sided write; raddr/rkey valid
+  kRdmaRead,      ///< one-sided read request; raddr/rkey/read_len valid
+  kRdmaReadResp,  ///< read response data
+  kSend,          ///< two-sided send (RPC transport)
+  kTransportAck,  ///< transport-level ack completing a host-path RDMA write
+  kAck,           ///< DFS-level acknowledgment
+  kNack,          ///< DFS-level negative acknowledgment (auth failure, no memory)
+};
+
+const char* opcode_name(Opcode op);
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Opcode opcode = Opcode::kSend;
+
+  /// Message identity: (src, msg_id) uniquely names a message; seq/pkt_count
+  /// delimit the packet stream. sPIN's HH/PH/CH dispatch keys off these.
+  std::uint64_t msg_id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t pkt_count = 1;
+
+  /// RDMA addressing (valid for RDMA opcodes). raddr is the target address
+  /// for *this packet's* payload; the sender advances it per packet.
+  std::uint64_t raddr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t read_len = 0;
+
+  /// Opaque correlation tag carried end-to-end (request ids in acks, RPC
+  /// correlation, HyperLoop trigger tags).
+  std::uint64_t user_tag = 0;
+
+  Bytes data;
+
+  bool first() const { return seq == 0; }
+  bool last() const { return seq + 1 == pkt_count; }
+  std::size_t wire_size() const { return kTransportHeaderBytes + data.size(); }
+};
+
+/// Receiving side of a network attachment (a NIC model).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(Packet&& pkt) = 0;
+};
+
+}  // namespace nadfs::net

@@ -1,0 +1,196 @@
+// Behavioural model of the PsPIN SmartNIC packet processor.
+//
+// PsPIN (ISCA'21) is a PULP-based accelerator: 32 RISC-V HPUs at 1 GHz in
+// four compute clusters, 1 MiB single-cycle L1 per cluster, 4 MiB L2, a
+// hardware packet scheduler with 1-2 cycle scheduling latency, and DMA
+// engines toward NIC and host memory. This model substitutes for the
+// cycle-accurate RTL toolchain the paper used (DESIGN.md §1):
+//
+//   ingress pipeline (calibrated to Fig. 7, 2 KiB packets):
+//     NIC inbound DMA into the L2 packet buffer   32 cycles (64 B/cycle)
+//     hardware scheduler decision                  2 cycles
+//     cluster-local DMA into L1                   43 cycles (~47.6 B/cycle)
+//     dispatch to an idle HPU                      1 ns
+//
+//   execution: handlers run functionally at dispatch and their recorded
+//   (cost, command) timeline is replayed against shared resources — HPU
+//   occupancy, a bounded egress command queue drained at link rate, and
+//   the PCIe DMA engine. sPIN's ordering contract is enforced per message:
+//   HH completes before any PH starts; CH runs after all PHs complete.
+//
+// The device also implements the cleanup-handler extension of §VII: a
+// message whose completion packet has not arrived within a timeout triggers
+// the execution context's cleanup handler so dangling request state is
+// reclaimed and the host is notified.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "pspin/trace.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "spin/handler.hpp"
+#include "spin/nic_services.hpp"
+
+namespace nadfs::pspin {
+
+struct PsPinConfig {
+  unsigned num_clusters = 4;
+  unsigned hpus_per_cluster = 8;
+  TimePs cycle = kPsPerNs;  ///< 1 GHz
+  std::size_t l1_bytes = 1 * MiB;
+  std::size_t l2_bytes = 4 * MiB;
+
+  /// Ingress datapath widths (bytes moved per cycle), from Fig. 7.
+  double pkt_buffer_bytes_per_cycle = 64.0;  // 2 KiB in 32 cycles
+  double l1_copy_bytes_per_cycle = 2048.0 / 43.0;
+  std::uint32_t sched_cycles = 2;
+  TimePs hpu_dispatch = ns(1);
+
+  /// Outstanding sends the NIC outbound engine accepts before handlers
+  /// stall. The steady-state stall magnitude is set by egress bandwidth
+  /// (Little's law), not this depth — see bench/ablation_egress_queue.
+  unsigned egress_queue_depth = 16;
+
+  /// Inactivity window after which an incomplete message is reaped by the
+  /// cleanup handler. Zero disables reaping.
+  TimePs cleanup_timeout = us(50);
+};
+
+/// Per-handler-type duration and instruction-count samples; the source for
+/// Fig. 11 / Fig. 16(left) and Tables I-II.
+class HandlerStats {
+ public:
+  void record(spin::HandlerType type, TimePs duration, std::uint64_t instr);
+
+  const Summary& duration_ns(spin::HandlerType type) const {
+    return duration_[static_cast<std::size_t>(type)];
+  }
+  const Summary& instructions(spin::HandlerType type) const {
+    return instr_[static_cast<std::size_t>(type)];
+  }
+  /// Mean achieved instructions-per-cycle (1 cycle == 1 ns).
+  double ipc(spin::HandlerType type) const;
+
+  void reset();
+
+ private:
+  Summary duration_[3];
+  Summary instr_[3];
+};
+
+class PsPinDevice {
+ public:
+  PsPinDevice(sim::Simulator& simulator, PsPinConfig config = {});
+
+  void attach_nic(spin::NicServices& nic) { nic_ = &nic; }
+
+  /// Install the execution context matching all incoming RDMA packets.
+  /// Fails (returns false) if the context's NIC-memory state plus the
+  /// per-request area does not fit in L1+L2.
+  bool install(spin::ExecutionContext ctx);
+  void uninstall();
+  bool installed() const { return ctx_.has_value(); }
+
+  /// Entry point from the NIC ingress side.
+  void on_packet(net::Packet&& pkt);
+
+  const PsPinConfig& config() const { return config_; }
+  HandlerStats& stats() { return stats_; }
+  const HandlerStats& stats() const { return stats_; }
+
+  /// Attach a trace sink recording every handler invocation (timeline
+  /// observability; export via TraceSink::export_chrome_json).
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Goodput accounting: payload bytes whose payload handler has completed,
+  /// and the time the last one completed.
+  std::uint64_t payload_bytes_processed() const { return payload_bytes_done_; }
+  TimePs last_handler_end() const { return last_handler_end_; }
+
+  std::uint64_t cleanup_runs() const { return cleanup_runs_; }
+  std::size_t live_messages() const { return messages_.size(); }
+
+  /// Total NIC memory visible to execution contexts (L1s + L2).
+  std::size_t nic_memory_bytes() const {
+    return config_.num_clusters * config_.l1_bytes + config_.l2_bytes;
+  }
+
+ private:
+  struct MsgState {
+    unsigned cluster = 0;
+    std::uint32_t flow_slot = 0;
+    std::uint32_t expected = 0;
+    std::uint32_t arrived = 0;
+    std::uint32_t ph_done = 0;    ///< PH timelines computed
+    TimePs hh_end = 0;            ///< 0 until the HH timeline is known
+    TimePs ph_end_max = 0;
+    /// Wire-start time of the message's most recent egress send. The NIC
+    /// outbound engine serializes a message's sends in issue order so that
+    /// forwarded streams keep sPIN's header-first/completion-last network
+    /// ordering at the next hop, even when a short final packet's handler
+    /// finishes encoding before its predecessors.
+    TimePs last_send_start = 0;
+    TimePs dma_durable_max = 0;   ///< storage fence horizon
+    TimePs last_activity = 0;
+    bool ch_issued = false;
+    bool reaped = false;
+    std::optional<net::Packet> completion_pkt;  ///< held until all PHs done
+    TimePs completion_ready = 0;
+  };
+
+  /// Run one handler invocation: functional execution + timeline replay.
+  /// Returns the handler end time.
+  TimePs run_handler(spin::HandlerType type, const spin::Handler& handler,
+                     const net::Packet& pkt, MsgState& msg, TimePs ready);
+
+  /// Replay a recorded context timeline starting at `start` on an HPU of
+  /// `cluster`; returns the end time.
+  TimePs replay(spin::HandlerCtx& ctx, MsgState& msg, unsigned cluster, TimePs start);
+
+  TimePs egress_accept(TimePs want);
+  void note_egress_slot(TimePs issue, TimePs end);
+
+  void maybe_run_completion(const spin::MessageKey& key, MsgState& msg);
+  void arm_cleanup(const spin::MessageKey& key);
+  void run_cleanup(const spin::MessageKey& key);
+
+  sim::Simulator& sim_;
+  PsPinConfig config_;
+  spin::NicServices* nic_ = nullptr;
+  std::optional<spin::ExecutionContext> ctx_;
+
+  // Shared ingress resources.
+  sim::FifoServer pkt_buffer_dma_;
+  sim::FifoServer scheduler_;
+  std::vector<std::unique_ptr<sim::FifoServer>> l1_dma_;  // per cluster
+  std::vector<std::vector<TimePs>> hpu_free_;             // per cluster, per HPU
+
+  // Bounded egress command queue. Timelines are computed eagerly and can be
+  // evaluated out of dispatch order, so each accepted send is kept as an
+  // (issue, drain) interval and occupancy is counted per query time.
+  struct EgressSlot {
+    TimePs issue;
+    TimePs end;
+  };
+  std::vector<EgressSlot> egress_slots_;
+
+  std::unordered_map<spin::MessageKey, MsgState, spin::MessageKeyHash> messages_;
+  unsigned next_cluster_ = 0;
+  std::uint32_t next_flow_slot_ = 0;
+
+  HandlerStats stats_;
+  TraceSink* trace_ = nullptr;
+  std::uint64_t payload_bytes_done_ = 0;
+  TimePs last_handler_end_ = 0;
+  std::uint64_t cleanup_runs_ = 0;
+};
+
+}  // namespace nadfs::pspin

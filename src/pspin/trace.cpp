@@ -1,0 +1,22 @@
+#include "pspin/trace.hpp"
+
+namespace nadfs::pspin {
+
+void TraceSink::export_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& r : records_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << spin::handler_type_name(r.type) << "\""
+        << ",\"cat\":\"handler\",\"ph\":\"X\""
+        << ",\"ts\":" << static_cast<double>(r.start) / 1e6
+        << ",\"dur\":" << static_cast<double>(r.end - r.start) / 1e6
+        << ",\"pid\":" << r.node << ",\"tid\":" << (r.cluster * 1000 + r.hpu)
+        << ",\"args\":{\"msg\":" << r.msg_id << ",\"seq\":" << r.seq
+        << ",\"instr\":" << r.instr << "}}";
+  }
+  out << "]}";
+}
+
+}  // namespace nadfs::pspin

@@ -1,0 +1,57 @@
+// Handler-execution tracing for the PsPIN device model.
+//
+// When a TraceSink is attached, every handler invocation is recorded with
+// its node, cluster, HPU, message, type, instruction count, and (start,
+// end) window in simulated time. The sink exports the Chrome trace-event
+// format ("chrome://tracing" / Perfetto), which renders the per-HPU
+// occupancy timeline — the fastest way to see scheduling, stalls, and the
+// HH -> PH -> CH structure of a message.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "spin/handler.hpp"
+
+namespace nadfs::pspin {
+
+struct TraceRecord {
+  net::NodeId node;
+  unsigned cluster;
+  unsigned hpu;
+  spin::HandlerType type;
+  std::uint64_t msg_id;
+  std::uint32_t seq;
+  std::uint64_t instr;
+  TimePs start;
+  TimePs end;
+};
+
+class TraceSink {
+ public:
+  void record(TraceRecord rec) { records_.push_back(rec); }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Total busy time per (cluster, hpu) — utilization accounting.
+  TimePs busy_time() const {
+    TimePs total = 0;
+    for (const auto& r : records_) total += r.end - r.start;
+    return total;
+  }
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events).
+  /// pid = node, tid = cluster * 1000 + hpu, timestamps in microseconds.
+  void export_chrome_json(std::ostream& out) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nadfs::pspin

@@ -1,0 +1,353 @@
+#include "services/client.hpp"
+
+#include <stdexcept>
+
+namespace nadfs::services {
+
+void AckTracker::install(rdma::Nic& nic) {
+  nic.set_control_handler([this](const net::Packet& pkt, TimePs at) {
+    auto it = ops_.find(pkt.user_tag);
+    if (it == ops_.end()) return;
+    if (pkt.opcode == net::Opcode::kNack) {
+      auto cb = std::move(it->second.cb);
+      ops_.erase(it);
+      cb(false, at);
+      return;
+    }
+    if (++it->second.got >= it->second.needed) {
+      auto cb = std::move(it->second.cb);
+      ops_.erase(it);
+      cb(true, at);
+    }
+  });
+}
+
+void AckTracker::expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+  ops_[tag] = Op{acks_needed, 0, std::move(cb)};
+}
+
+void AckTracker::cancel(std::uint64_t tag) { ops_.erase(tag); }
+
+Client::Client(Cluster& cluster, std::size_t client_idx)
+    : cluster_(cluster),
+      node_(cluster.client(client_idx)),
+      client_id_(cluster.management().register_client()) {
+  tracker_.install(node_.nic());
+}
+
+unsigned Client::acks_for(const FileLayout& layout) {
+  switch (layout.policy.resiliency) {
+    case dfs::Resiliency::kNone:
+      return 1;
+    case dfs::Resiliency::kReplication:
+      return layout.policy.repl_k;
+    case dfs::Resiliency::kErasureCoding:
+      return layout.policy.ec_k + layout.policy.ec_m;
+  }
+  return 1;
+}
+
+void Client::write(const FileLayout& layout, const auth::Capability& cap, Bytes data,
+                   DoneCb cb) {
+  write_at(layout, cap, 0, std::move(data), std::move(cb));
+}
+
+void Client::write_at(const FileLayout& layout, const auth::Capability& cap,
+                      std::uint64_t offset, Bytes data, DoneCb cb) {
+  if (offset + data.size() > layout.size) {
+    throw std::length_error("Client::write_at: write exceeds object size");
+  }
+  if (offset != 0 && layout.policy.resiliency == dfs::Resiliency::kErasureCoding) {
+    throw std::invalid_argument("Client::write_at: EC objects are whole-object writes");
+  }
+  if (layout.striped()) {
+    striped_write(layout, cap, offset, std::move(data), std::move(cb));
+    return;
+  }
+  start_write(layout, cap, offset, std::move(data), std::move(cb), max_retries_);
+}
+
+void Client::striped_write(const FileLayout& layout, const auth::Capability& cap,
+                           std::uint64_t offset, Bytes data, DoneCb cb) {
+  // RAID-0 style: each overlapped stripe unit becomes one plain DFS write
+  // against its stripe's extent; the op completes when every unit acked.
+  struct Latch {
+    unsigned remaining = 0;
+    bool failed = false;
+    TimePs last = 0;
+    DoneCb cb;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->cb = std::move(cb);
+
+  const std::uint64_t ss = layout.policy.stripe_size;
+  std::vector<std::tuple<dfs::Coord, Bytes>> units;
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const auto [stripe, within] = layout.locate(pos);
+    const std::uint64_t in_unit = pos % ss;
+    const std::size_t n =
+        std::min<std::size_t>(data.size() - consumed, static_cast<std::size_t>(ss - in_unit));
+    dfs::Coord target = layout.targets[stripe];
+    target.addr += within;
+    units.emplace_back(target, Bytes(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                                     data.begin() + static_cast<std::ptrdiff_t>(consumed + n)));
+    pos += n;
+    consumed += n;
+  }
+  latch->remaining = static_cast<unsigned>(units.size());
+  for (auto& [target, bytes] : units) {
+    write_extent(target, cap, std::move(bytes), [latch](bool ok, TimePs at) {
+      latch->failed |= !ok;
+      latch->last = std::max(latch->last, at);
+      if (--latch->remaining == 0) latch->cb(!latch->failed, latch->last);
+    });
+  }
+}
+
+void Client::striped_read(const FileLayout& layout, const auth::Capability& cap,
+                          std::uint64_t offset, std::uint32_t len,
+                          std::function<void(Bytes, TimePs)> cb) {
+  struct Gather {
+    Bytes data;
+    unsigned remaining = 0;
+    TimePs last = 0;
+    std::function<void(Bytes, TimePs)> cb;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->data.assign(len, 0);
+  gather->cb = std::move(cb);
+
+  const std::uint64_t ss = layout.policy.stripe_size;
+  struct Unit {
+    dfs::Coord target;
+    std::uint32_t n;
+    std::size_t out_off;
+  };
+  std::vector<Unit> units;
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < len) {
+    const auto [stripe, within] = layout.locate(pos);
+    const std::uint64_t in_unit = pos % ss;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(len - consumed, ss - in_unit));
+    dfs::Coord target = layout.targets[stripe];
+    target.addr += within;
+    units.push_back(Unit{target, n, consumed});
+    pos += n;
+    consumed += n;
+  }
+  gather->remaining = static_cast<unsigned>(units.size());
+  for (const auto& unit : units) {
+    read_extent(unit.target, cap, unit.n,
+                [gather, out_off = unit.out_off](Bytes part, TimePs at) {
+                  std::copy(part.begin(), part.end(),
+                            gather->data.begin() + static_cast<std::ptrdiff_t>(out_off));
+                  gather->last = std::max(gather->last, at);
+                  if (--gather->remaining == 0) {
+                    gather->cb(std::move(gather->data), gather->last);
+                  }
+                });
+  }
+}
+
+void Client::start_write(const FileLayout& layout, const auth::Capability& cap,
+                         std::uint64_t offset, Bytes data, DoneCb cb, unsigned attempts_left) {
+  const std::uint64_t greq = next_greq();
+  DoneCb completion;
+  if (attempts_left == 0) {
+    completion = std::move(cb);
+  } else {
+    // Retry-on-denial: a NACK means the storage node could not admit the
+    // request (e.g. request table full); back off and reissue.
+    completion = [this, &layout, cap, offset, data, cb = std::move(cb),
+                  attempts_left](bool ok, TimePs at) mutable {
+      if (ok) {
+        cb(true, at);
+        return;
+      }
+      ++retries_performed_;
+      cluster_.sim().schedule(retry_backoff_, [this, &layout, cap, offset,
+                                               data = std::move(data), cb = std::move(cb),
+                                               attempts_left]() mutable {
+        start_write(layout, cap, offset, std::move(data), std::move(cb), attempts_left - 1);
+      });
+    };
+  }
+  tracker_.expect(greq, acks_for(layout), std::move(completion));
+  switch (layout.policy.resiliency) {
+    case dfs::Resiliency::kNone:
+      write_plain(layout, cap, offset, std::move(data), greq);
+      break;
+    case dfs::Resiliency::kReplication:
+      write_replicated(layout, cap, offset, std::move(data), greq);
+      break;
+    case dfs::Resiliency::kErasureCoding:
+      write_erasure_coded(layout, cap, std::move(data), greq);
+      break;
+  }
+}
+
+void Client::write_plain(const FileLayout& layout, const auth::Capability& cap,
+                         std::uint64_t offset, Bytes data, std::uint64_t greq) {
+  dfs::DfsHeader hdr;
+  hdr.op = dfs::OpType::kWrite;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+
+  dfs::WriteRequestHeader wrh;
+  wrh.dest_addr = layout.targets.front().addr + offset;
+  wrh.total_len = data.size();
+  wrh.resiliency = dfs::Resiliency::kNone;
+
+  node_.nic().post_message(dfs::build_write_packets(
+      node_.id(), layout.targets.front().node, cluster_.network().mtu(), hdr, wrh, data));
+}
+
+void Client::write_replicated(const FileLayout& layout, const auth::Capability& cap,
+                              std::uint64_t offset, Bytes data, std::uint64_t greq) {
+  dfs::DfsHeader hdr;
+  hdr.op = dfs::OpType::kWrite;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+
+  dfs::WriteRequestHeader wrh;
+  wrh.dest_addr = layout.targets.front().addr + offset;
+  wrh.total_len = data.size();
+  wrh.resiliency = dfs::Resiliency::kReplication;
+  wrh.strategy = layout.policy.strategy;
+  wrh.virtual_rank = 0;
+  wrh.replicas = layout.targets;
+  for (auto& coord : wrh.replicas) coord.addr += offset;
+
+  node_.nic().post_message(dfs::build_write_packets(
+      node_.id(), layout.targets.front().node, cluster_.network().mtu(), hdr, wrh, data));
+}
+
+void Client::write_erasure_coded(const FileLayout& layout, const auth::Capability& cap,
+                                 Bytes data, std::uint64_t greq) {
+  const unsigned k = layout.policy.ec_k;
+  const auto chunk_len = static_cast<std::size_t>(layout.chunk_len);
+  data.resize(chunk_len * k, 0);  // zero-pad to k equal chunks
+
+  std::vector<std::vector<net::Packet>> trains;
+  trains.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    dfs::DfsHeader hdr;
+    hdr.op = dfs::OpType::kWrite;
+    hdr.greq_id = greq;
+    hdr.client_node = node_.id();
+    hdr.cap = cap;
+
+    dfs::WriteRequestHeader wrh;
+    wrh.dest_addr = layout.targets[i].addr;
+    wrh.total_len = chunk_len;
+    wrh.resiliency = dfs::Resiliency::kErasureCoding;
+    wrh.ec_k = layout.policy.ec_k;
+    wrh.ec_m = layout.policy.ec_m;
+    wrh.role = dfs::EcRole::kData;
+    wrh.data_idx = static_cast<std::uint8_t>(i);
+    wrh.parity_nodes = layout.parity;
+
+    const ByteSpan chunk(data.data() + static_cast<std::size_t>(i) * chunk_len, chunk_len);
+    trains.push_back(dfs::build_write_packets(node_.id(), layout.targets[i].node,
+                                              cluster_.network().mtu(), hdr, wrh, chunk));
+  }
+  if (ec_interleave_) {
+    node_.nic().post_message(interleave(std::move(trains)));
+  } else {
+    std::vector<net::Packet> sequential;
+    for (auto& t : trains) {
+      for (auto& p : t) sequential.push_back(std::move(p));
+    }
+    node_.nic().post_message(std::move(sequential));
+  }
+}
+
+void Client::read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
+                  std::function<void(Bytes, TimePs)> cb) {
+  read_at(layout, cap, 0, len, std::move(cb));
+}
+
+void Client::read_at(const FileLayout& layout, const auth::Capability& cap,
+                     std::uint64_t offset, std::uint32_t len,
+                     std::function<void(Bytes, TimePs)> cb) {
+  if (layout.striped()) {
+    striped_read(layout, cap, offset, len, std::move(cb));
+    return;
+  }
+  const std::uint64_t greq = next_greq();
+  node_.nic().expect_read_response(greq, len, [cb = std::move(cb)](Bytes data, TimePs at) {
+    cb(std::move(data), at);
+  });
+
+  dfs::DfsHeader hdr;
+  hdr.op = dfs::OpType::kRead;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+
+  dfs::ReadRequestHeader rrh;
+  rrh.src_addr = layout.targets.front().addr + offset;
+  rrh.len = len;
+
+  node_.nic().post_message(
+      dfs::build_read_packets(node_.id(), layout.targets.front().node, hdr, rrh));
+}
+
+void Client::read_extent(const dfs::Coord& coord, const auth::Capability& cap,
+                         std::uint32_t len, std::function<void(Bytes, TimePs)> cb) {
+  const std::uint64_t greq = next_greq();
+  node_.nic().expect_read_response(greq, len, [cb = std::move(cb)](Bytes data, TimePs at) {
+    cb(std::move(data), at);
+  });
+  dfs::DfsHeader hdr;
+  hdr.op = dfs::OpType::kRead;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+  dfs::ReadRequestHeader rrh;
+  rrh.src_addr = coord.addr;
+  rrh.len = len;
+  node_.nic().post_message(dfs::build_read_packets(node_.id(), coord.node, hdr, rrh));
+}
+
+void Client::write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
+                          DoneCb cb) {
+  const std::uint64_t greq = next_greq();
+  tracker_.expect(greq, 1, std::move(cb));
+  dfs::DfsHeader hdr;
+  hdr.op = dfs::OpType::kWrite;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+  dfs::WriteRequestHeader wrh;
+  wrh.dest_addr = coord.addr;
+  wrh.total_len = data.size();
+  wrh.resiliency = dfs::Resiliency::kNone;
+  node_.nic().post_message(
+      dfs::build_write_packets(node_.id(), coord.node, cluster_.network().mtu(), hdr, wrh, data));
+}
+
+std::vector<net::Packet> interleave(std::vector<std::vector<net::Packet>> trains) {
+  std::vector<net::Packet> out;
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const auto& t : trains) {
+    total += t.size();
+    longest = std::max(longest, t.size());
+  }
+  out.reserve(total);
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (auto& t : trains) {
+      if (i < t.size()) out.push_back(std::move(t[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace nadfs::services

@@ -1,0 +1,130 @@
+// DFS client endpoint (the paper's "client": DFS library at a compute node).
+//
+// Implements the sPIN-path data-plane operations of Fig. 2: after fetching
+// a layout and a capability from the control plane, the client builds
+// DFS-formatted RDMA writes (Fig. 3) and fires them at the storage nodes in
+// a single one-sided operation; the storage-side policies run on the NICs.
+// Completion is DFS-level: the client counts the acks the completion
+// handlers send (one per replica for replication; one per data node and one
+// per parity node for EC) and fails fast on a NACK.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "services/cluster.hpp"
+
+namespace nadfs::services {
+
+using DoneCb = std::function<void(bool ok, TimePs at)>;
+
+/// Counts DFS-level acks per request tag; a NACK fails the request.
+class AckTracker {
+ public:
+  /// Route the NIC's control packets (kAck/kNack) into this tracker.
+  void install(rdma::Nic& nic);
+
+  void expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb);
+  bool pending(std::uint64_t tag) const { return ops_.count(tag) != 0; }
+  std::size_t pending_count() const { return ops_.size(); }
+
+  /// Drop a pending op (timeout handling by higher layers).
+  void cancel(std::uint64_t tag);
+
+ private:
+  struct Op {
+    unsigned needed;
+    unsigned got = 0;
+    DoneCb cb;
+  };
+  std::unordered_map<std::uint64_t, Op> ops_;
+};
+
+class Client {
+ public:
+  Client(Cluster& cluster, std::size_t client_idx);
+
+  std::uint64_t client_id() const { return client_id_; }
+  ClientNode& node() { return node_; }
+  AckTracker& tracker() { return tracker_; }
+
+  /// Fresh globally-unique request id (client id in the high bits).
+  std::uint64_t next_greq() { return (client_id_ << 32) | next_seq_++; }
+
+  /// One-sided DFS write of `data` at object offset 0, policies per the
+  /// layout (plain, replicated, or erasure-coded). `cb` fires when every
+  /// expected DFS ack arrived (or immediately with ok=false on NACK).
+  void write(const FileLayout& layout, const auth::Capability& cap, Bytes data, DoneCb cb);
+
+  /// Write at a byte offset within the object (plain and replicated
+  /// layouts; EC objects are whole-object writes since parity spans all
+  /// chunks).
+  void write_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+                Bytes data, DoneCb cb);
+
+  /// One-sided DFS read of `len` bytes at object offset 0 from the primary
+  /// target; the remote completion handler streams the data back.
+  void read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
+            std::function<void(Bytes, TimePs)> cb);
+
+  /// Read at a byte offset within the object.
+  void read_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+               std::uint32_t len, std::function<void(Bytes, TimePs)> cb);
+
+  // ---- extent-level primitives (recovery / repair paths) ----------------
+  /// Read [coord.addr, +len) from a specific storage node.
+  void read_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
+                   std::function<void(Bytes, TimePs)> cb);
+  /// Plain (no-resiliency) DFS write of `data` at a specific coordinate.
+  void write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
+                    DoneCb cb);
+
+  /// Denied writes (request-table exhaustion, paper §III-B.2: "the request
+  /// is denied, and the client will retry later") are retried up to
+  /// `retries` times after `backoff`. Default: no retries.
+  void set_retry_policy(unsigned retries, TimePs backoff) {
+    max_retries_ = retries;
+    retry_backoff_ = backoff;
+  }
+  std::uint64_t retries_performed() const { return retries_performed_; }
+
+  /// Number of DFS acks a write against `layout` waits for.
+  static unsigned acks_for(const FileLayout& layout);
+
+  /// Interleave the k chunk streams of an EC write packet-by-packet
+  /// (default true, §VI-B.1). Disable to ablate: sequential transmission
+  /// serializes the data nodes' encoding and stretches the parity node's
+  /// aggregation-sequence lifetimes.
+  void set_ec_interleaving(bool on) { ec_interleave_ = on; }
+
+ private:
+  void write_plain(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+                   Bytes data, std::uint64_t greq);
+  void write_replicated(const FileLayout& layout, const auth::Capability& cap,
+                        std::uint64_t offset, Bytes data, std::uint64_t greq);
+  void write_erasure_coded(const FileLayout& layout, const auth::Capability& cap, Bytes data,
+                           std::uint64_t greq);
+  void start_write(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+                   Bytes data, DoneCb cb, unsigned attempts_left);
+  void striped_write(const FileLayout& layout, const auth::Capability& cap,
+                     std::uint64_t offset, Bytes data, DoneCb cb);
+  void striped_read(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+                    std::uint32_t len, std::function<void(Bytes, TimePs)> cb);
+
+  Cluster& cluster_;
+  ClientNode& node_;
+  AckTracker tracker_;
+  std::uint64_t client_id_;
+  std::uint64_t next_seq_ = 1;
+  bool ec_interleave_ = true;
+  unsigned max_retries_ = 0;
+  TimePs retry_backoff_ = us(5);
+  std::uint64_t retries_performed_ = 0;
+};
+
+/// Interleave k packet trains packet-by-packet (paper §VI-B.1: interleaved
+/// transmission lets the data nodes encode in parallel and keeps the parity
+/// node's aggregation sequences short-lived).
+std::vector<net::Packet> interleave(std::vector<std::vector<net::Packet>> trains);
+
+}  // namespace nadfs::services

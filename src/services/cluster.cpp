@@ -1,0 +1,67 @@
+#include "services/cluster.hpp"
+
+#include <stdexcept>
+
+namespace nadfs::services {
+
+StorageNode::StorageNode(sim::Simulator& simulator, net::Network& network,
+                         const storage::TargetConfig& tcfg, const rdma::NicConfig& ncfg,
+                         const host::CpuConfig& ccfg, const pspin::PsPinConfig& pcfg)
+    : target_(std::make_unique<storage::Target>(simulator, tcfg)),
+      nic_(std::make_unique<rdma::Nic>(simulator, network, *target_, ncfg)),
+      cpu_(std::make_unique<host::Cpu>(simulator, ccfg)),
+      pspin_(std::make_unique<pspin::PsPinDevice>(simulator, pcfg)) {
+  nic_->attach_pspin(*pspin_);
+  nic_->set_host_event_handler([this](std::uint64_t code, std::uint64_t arg, TimePs at) {
+    host_events_.push_back(HostEventRecord{code, arg, at});
+  });
+}
+
+void StorageNode::install_dfs(dfs::DfsConfig cfg) {
+  cfg.mtu = nic_->network().mtu();
+  dfs_state_ = std::make_shared<dfs::DfsState>(cfg);
+  if (!pspin_->install(dfs::make_dfs_context(dfs_state_))) {
+    throw std::runtime_error("StorageNode::install_dfs: DFS state exceeds NIC memory");
+  }
+}
+
+void StorageNode::uninstall_dfs() {
+  pspin_->uninstall();
+  dfs_state_.reset();
+}
+
+ClientNode::ClientNode(sim::Simulator& simulator, net::Network& network,
+                       const rdma::NicConfig& ncfg, const host::CpuConfig& ccfg)
+    : ram_(std::make_unique<storage::Target>(simulator)),
+      nic_(std::make_unique<rdma::Nic>(simulator, network, *ram_, ncfg)),
+      cpu_(std::make_unique<host::Cpu>(simulator, ccfg)) {}
+
+Cluster::Cluster(ClusterConfig config) : cfg_(config) {
+  network_ = std::make_unique<net::Network>(sim_, cfg_.network);
+
+  std::vector<net::NodeId> storage_ids;
+  for (unsigned i = 0; i < cfg_.storage_nodes; ++i) {
+    storage_.push_back(std::make_unique<StorageNode>(sim_, *network_, cfg_.target, cfg_.nic,
+                                                     cfg_.cpu, cfg_.pspin));
+    storage_ids.push_back(storage_.back()->id());
+  }
+  for (unsigned i = 0; i < cfg_.clients; ++i) {
+    clients_.push_back(std::make_unique<ClientNode>(sim_, *network_, cfg_.nic, cfg_.cpu));
+  }
+
+  mgmt_ = std::make_unique<ManagementService>(cfg_.dfs.key);
+  meta_ = std::make_unique<MetadataService>(*mgmt_, storage_ids);
+
+  if (cfg_.install_dfs) {
+    for (auto& node : storage_) node->install_dfs(cfg_.dfs);
+  }
+}
+
+StorageNode& Cluster::storage_by_node(net::NodeId id) {
+  for (auto& node : storage_) {
+    if (node->id() == id) return *node;
+  }
+  throw std::out_of_range("Cluster::storage_by_node: not a storage node");
+}
+
+}  // namespace nadfs::services

@@ -1,0 +1,117 @@
+// Node assemblies and the simulated cluster.
+//
+// A StorageNode is the full Fig. 1(d) stack: storage target (NVMM), RDMA
+// NIC, PsPIN device, host CPU, plus the DFS state its execution context
+// owns. A ClientNode is a DFS endpoint: RAM + NIC + CPU. The Cluster wires
+// them onto one switch (the paper's SST topology) together with the
+// control-plane services.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dfs/handlers.hpp"
+#include "dfs/state.hpp"
+#include "host/cpu.hpp"
+#include "net/network.hpp"
+#include "pspin/device.hpp"
+#include "rdma/nic.hpp"
+#include "services/metadata.hpp"
+#include "sim/simulator.hpp"
+#include "storage/target.hpp"
+
+namespace nadfs::services {
+
+struct HostEventRecord {
+  std::uint64_t code;
+  std::uint64_t arg;
+  TimePs at;
+};
+
+class StorageNode {
+ public:
+  StorageNode(sim::Simulator& simulator, net::Network& network, const storage::TargetConfig& tcfg,
+              const rdma::NicConfig& ncfg, const host::CpuConfig& ccfg,
+              const pspin::PsPinConfig& pcfg);
+
+  /// Install the offloaded DFS policies (Fig. 1d). Keeps a handle on the
+  /// shared state for inspection.
+  void install_dfs(dfs::DfsConfig cfg);
+  /// Remove the execution context: RDMA traffic reverts to the host path.
+  void uninstall_dfs();
+
+  net::NodeId id() const { return nic_->id(); }
+  storage::Target& target() { return *target_; }
+  rdma::Nic& nic() { return *nic_; }
+  host::Cpu& cpu() { return *cpu_; }
+  pspin::PsPinDevice& pspin() { return *pspin_; }
+  dfs::DfsState* dfs_state() { return dfs_state_.get(); }
+  const std::vector<HostEventRecord>& host_events() const { return host_events_; }
+
+ private:
+  std::unique_ptr<storage::Target> target_;
+  std::unique_ptr<rdma::Nic> nic_;
+  std::unique_ptr<host::Cpu> cpu_;
+  std::unique_ptr<pspin::PsPinDevice> pspin_;
+  std::shared_ptr<dfs::DfsState> dfs_state_;
+  std::vector<HostEventRecord> host_events_;
+};
+
+class ClientNode {
+ public:
+  ClientNode(sim::Simulator& simulator, net::Network& network, const rdma::NicConfig& ncfg,
+             const host::CpuConfig& ccfg);
+
+  net::NodeId id() const { return nic_->id(); }
+  storage::Target& ram() { return *ram_; }
+  rdma::Nic& nic() { return *nic_; }
+  host::Cpu& cpu() { return *cpu_; }
+
+ private:
+  std::unique_ptr<storage::Target> ram_;
+  std::unique_ptr<rdma::Nic> nic_;
+  std::unique_ptr<host::Cpu> cpu_;
+};
+
+struct ClusterConfig {
+  unsigned storage_nodes = 4;
+  unsigned clients = 1;
+  net::NetworkConfig network;
+  storage::TargetConfig target;
+  rdma::NicConfig nic;
+  host::CpuConfig cpu;
+  pspin::PsPinConfig pspin;
+  dfs::DfsConfig dfs;
+  bool install_dfs = true;  ///< offload policies to the NICs at start-up
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  ManagementService& management() { return *mgmt_; }
+  MetadataService& metadata() { return *meta_; }
+
+  StorageNode& storage_node(std::size_t i) { return *storage_[i]; }
+  std::size_t storage_node_count() const { return storage_.size(); }
+  /// Storage node by network node id (throws if not a storage node).
+  StorageNode& storage_by_node(net::NodeId id);
+
+  ClientNode& client(std::size_t i) { return *clients_[i]; }
+  std::size_t client_count() const { return clients_.size(); }
+
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<StorageNode>> storage_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+  std::unique_ptr<ManagementService> mgmt_;
+  std::unique_ptr<MetadataService> meta_;
+};
+
+}  // namespace nadfs::services

@@ -1,0 +1,150 @@
+#include "services/host_dfs.hpp"
+
+namespace nadfs::services {
+
+HostDfsService::HostDfsService(StorageNode& node, dfs::DfsConfig cfg)
+    : node_(node), cfg_(cfg), authority_(cfg.key) {
+  node_.nic().set_dfs_request_handler(
+      [this](net::NodeId src, std::uint64_t msg_id, Bytes request, TimePs at) {
+        handle(src, msg_id, std::move(request), at);
+      });
+}
+
+void HostDfsService::handle(net::NodeId src, std::uint64_t msg_id, Bytes request, TimePs at) {
+  (void)src;
+  (void)msg_id;
+  ++handled_;
+  auto& cpu = node_.cpu();
+  const auto& ccfg = cpu.config();
+  const TimePs dispatched =
+      cpu.busy(ccfg.rpc_dispatch + ccfg.validate_cost, at + ccfg.notify_latency);
+
+  dfs::ParsedRequest req;
+  try {
+    req = dfs::parse_request(request);
+  } catch (const std::out_of_range&) {
+    ++failures_;
+    return;
+  }
+
+  // Same policy check the sPIN HH performs, with the same shared key.
+  const auto right =
+      req.dfs.op == dfs::OpType::kWrite ? auth::Right::kWrite : auth::Right::kRead;
+  const std::uint64_t addr =
+      req.dfs.op == dfs::OpType::kWrite ? req.wrh.dest_addr : req.rrh.src_addr;
+  const std::uint64_t len = req.dfs.op == dfs::OpType::kWrite ? req.wrh.total_len : req.rrh.len;
+  if (cfg_.validate_requests && !authority_.verify(req.dfs.cap, dispatched, right, addr, len)) {
+    ++failures_;
+    node_.nic().post_control(req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id,
+                             dispatched);
+    return;
+  }
+
+  if (req.dfs.op == dfs::OpType::kRead) {
+    handle_read(req, dispatched);
+    return;
+  }
+  const ByteSpan payload(request.data() + req.header_bytes, request.size() - req.header_bytes);
+  if (req.wrh.resiliency == dfs::Resiliency::kErasureCoding &&
+      req.wrh.role == dfs::EcRole::kParity) {
+    handle_parity_contribution(req, payload, dispatched);
+  } else {
+    handle_write(req, payload, dispatched);
+  }
+}
+
+void HostDfsService::handle_write(const dfs::ParsedRequest& req, ByteSpan payload, TimePs t) {
+  auto& cpu = node_.cpu();
+  // Bounce-buffer copy out of the command queue, then commit.
+  const TimePs copied = cpu.copy(payload.size(), t);
+  const TimePs durable = node_.target().write(req.wrh.dest_addr, payload, copied);
+
+  switch (req.wrh.resiliency) {
+    case dfs::Resiliency::kNone:
+      break;
+    case dfs::Resiliency::kReplication: {
+      // Forward to this rank's children as regular DFS writes: a child with
+      // PsPIN capacity handles them on its NIC.
+      const auto& wrh = req.wrh;
+      for (const auto child : dfs::broadcast_children(
+               wrh.virtual_rank, static_cast<std::uint8_t>(wrh.replicas.size()),
+               wrh.strategy)) {
+        dfs::WriteRequestHeader cw = wrh;
+        cw.virtual_rank = child;
+        cw.dest_addr = wrh.replicas[child].addr;
+        auto pkts = dfs::build_write_packets(node_.id(), wrh.replicas[child].node, cfg_.mtu,
+                                             req.dfs, cw, payload);
+        cpu.run(cpu.config().rpc_dispatch, copied, [this, pkts = std::move(pkts)]() mutable {
+          node_.nic().post_message(std::move(pkts));
+        });
+      }
+      break;
+    }
+    case dfs::Resiliency::kErasureCoding: {
+      // Data role: compute the m intermediate parities on the CPU (a full
+      // pass over the chunk) and ship them to the parity nodes.
+      const auto& wrh = req.wrh;
+      const auto& rs = codec(wrh.ec_k, wrh.ec_m);
+      const TimePs encoded = cpu.copy(payload.size() * wrh.ec_m, copied);
+      const auto inter = rs.encode_intermediate(wrh.data_idx, payload);
+      for (unsigned p = 0; p < wrh.ec_m; ++p) {
+        dfs::WriteRequestHeader pw = wrh;
+        pw.role = dfs::EcRole::kParity;
+        pw.dest_addr = wrh.parity_nodes[p].addr;
+        auto pkts = dfs::build_write_packets(node_.id(), wrh.parity_nodes[p].node, cfg_.mtu,
+                                             req.dfs, pw, inter[p]);
+        cpu.run(cpu.config().rpc_dispatch, encoded, [this, pkts = std::move(pkts)]() mutable {
+          node_.nic().post_message(std::move(pkts));
+        });
+      }
+      break;
+    }
+  }
+
+  node_.nic().post_control(req.dfs.client_node, net::Opcode::kAck, req.dfs.greq_id, durable);
+}
+
+void HostDfsService::handle_parity_contribution(const dfs::ParsedRequest& req, ByteSpan payload,
+                                                TimePs t) {
+  auto& cpu = node_.cpu();
+  ParityAgg& agg = parity_[req.dfs.greq_id];
+  if (agg.acc.size() < payload.size()) agg.acc.resize(payload.size(), 0);
+  ec::ReedSolomon::aggregate(agg.acc, payload);
+  agg.last = std::max(agg.last, cpu.copy(payload.size(), t));
+  if (++agg.contributions < req.wrh.ec_k) return;
+
+  const TimePs durable = node_.target().write(req.wrh.dest_addr, agg.acc, agg.last);
+  node_.nic().post_control(req.dfs.client_node, net::Opcode::kAck, req.dfs.greq_id, durable);
+  parity_.erase(req.dfs.greq_id);
+}
+
+void HostDfsService::handle_read(const dfs::ParsedRequest& req, TimePs t) {
+  auto& cpu = node_.cpu();
+  const Bytes data = node_.target().read(req.rrh.src_addr, req.rrh.len);
+  const TimePs ready = cpu.copy(data.size(), t);
+
+  const std::size_t mtu = cfg_.mtu;
+  const auto count =
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, (data.size() + mtu - 1) / mtu));
+  std::vector<net::Packet> pkts;
+  std::size_t off = 0;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    net::Packet p;
+    p.dst = req.dfs.client_node;
+    p.opcode = net::Opcode::kRdmaReadResp;
+    p.msg_id = req.dfs.greq_id;
+    p.seq = s;
+    p.pkt_count = count;
+    p.user_tag = req.dfs.greq_id;
+    const std::size_t n = std::min(mtu, data.size() - off);
+    p.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    pkts.push_back(std::move(p));
+  }
+  cpu.run(0, ready, [this, pkts = std::move(pkts)]() mutable {
+    node_.nic().post_message(std::move(pkts));
+  });
+}
+
+}  // namespace nadfs::services

@@ -1,0 +1,169 @@
+#include "services/metadata.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace nadfs::services {
+
+namespace {
+void put_coords(ByteWriter& w, const std::vector<dfs::Coord>& coords) {
+  w.put(static_cast<std::uint16_t>(coords.size()));
+  for (const auto& c : coords) {
+    w.put(c.node);
+    w.put(c.addr);
+  }
+}
+std::vector<dfs::Coord> get_coords(ByteReader& r) {
+  std::vector<dfs::Coord> coords(r.get<std::uint16_t>());
+  for (auto& c : coords) {
+    c.node = r.get<net::NodeId>();
+    c.addr = r.get<std::uint64_t>();
+  }
+  return coords;
+}
+}  // namespace
+
+void FileLayout::serialize(ByteWriter& w) const {
+  w.put(object_id);
+  w.put(size);
+  w.put(static_cast<std::uint8_t>(policy.resiliency));
+  w.put(static_cast<std::uint8_t>(policy.strategy));
+  w.put(policy.repl_k);
+  w.put(policy.ec_k);
+  w.put(policy.ec_m);
+  w.put(policy.stripe_count);
+  w.put(policy.stripe_size);
+  put_coords(w, targets);
+  put_coords(w, parity);
+  w.put(chunk_len);
+}
+
+FileLayout FileLayout::deserialize(ByteReader& r) {
+  FileLayout l;
+  l.object_id = r.get<std::uint64_t>();
+  l.size = r.get<std::uint64_t>();
+  l.policy.resiliency = static_cast<dfs::Resiliency>(r.get<std::uint8_t>());
+  l.policy.strategy = static_cast<dfs::ReplStrategy>(r.get<std::uint8_t>());
+  l.policy.repl_k = r.get<std::uint8_t>();
+  l.policy.ec_k = r.get<std::uint8_t>();
+  l.policy.ec_m = r.get<std::uint8_t>();
+  l.policy.stripe_count = r.get<std::uint8_t>();
+  l.policy.stripe_size = r.get<std::uint64_t>();
+  l.targets = get_coords(r);
+  l.parity = get_coords(r);
+  l.chunk_len = r.get<std::uint64_t>();
+  return l;
+}
+
+std::uint64_t MetadataService::allocate_on(std::size_t node_idx, std::uint64_t len) {
+  const std::uint64_t addr = alloc_ptr_[node_idx];
+  // 4 KiB-align allocations so extents never straddle unrelated objects.
+  alloc_ptr_[node_idx] += (len + 4095) & ~std::uint64_t{4095};
+  return addr;
+}
+
+const FileLayout& MetadataService::create(const std::string& name, std::uint64_t size,
+                                          FilePolicy policy) {
+  if (files_.count(name)) {
+    throw std::invalid_argument("MetadataService::create: file exists: " + name);
+  }
+  if (policy.stripe_count > 1 && policy.resiliency != dfs::Resiliency::kNone) {
+    throw std::invalid_argument(
+        "MetadataService::create: striping composes only with plain layouts");
+  }
+  FileLayout layout;
+  layout.object_id = next_object_id_++;
+  layout.size = size;
+  layout.policy = policy;
+
+  auto place = [&](std::uint64_t bytes) {
+    const std::size_t idx = next_placement_++ % nodes_.size();
+    return dfs::Coord{nodes_[idx], allocate_on(idx, bytes)};
+  };
+
+  switch (policy.resiliency) {
+    case dfs::Resiliency::kNone: {
+      if (policy.stripe_count <= 1) {
+        layout.targets.push_back(place(size));
+        break;
+      }
+      if (policy.stripe_size == 0 || policy.stripe_count > nodes_.size()) {
+        throw std::invalid_argument("MetadataService::create: bad striping parameters");
+      }
+      // Per-stripe extent: ceil of the stripe's share of the object.
+      const std::uint64_t per_stripe =
+          ((size + policy.stripe_count - 1) / policy.stripe_count + policy.stripe_size - 1) /
+              policy.stripe_size * policy.stripe_size;
+      for (unsigned s = 0; s < policy.stripe_count; ++s) {
+        layout.targets.push_back(place(per_stripe));
+      }
+      break;
+    }
+    case dfs::Resiliency::kReplication: {
+      if (policy.repl_k == 0 || policy.repl_k > nodes_.size()) {
+        throw std::invalid_argument("MetadataService::create: bad replication factor");
+      }
+      for (unsigned i = 0; i < policy.repl_k; ++i) layout.targets.push_back(place(size));
+      break;
+    }
+    case dfs::Resiliency::kErasureCoding: {
+      if (policy.ec_k == 0 || policy.ec_m == 0 ||
+          policy.ec_k + policy.ec_m > nodes_.size()) {
+        throw std::invalid_argument("MetadataService::create: bad EC parameters");
+      }
+      layout.chunk_len = (size + policy.ec_k - 1) / policy.ec_k;
+      for (unsigned i = 0; i < policy.ec_k; ++i) layout.targets.push_back(place(layout.chunk_len));
+      for (unsigned i = 0; i < policy.ec_m; ++i) layout.parity.push_back(place(layout.chunk_len));
+      break;
+    }
+  }
+  return files_.emplace(name, std::move(layout)).first->second;
+}
+
+dfs::Coord MetadataService::allocate_spare(std::uint64_t len,
+                                           const std::vector<net::NodeId>& avoid) {
+  for (std::size_t tries = 0; tries < nodes_.size(); ++tries) {
+    const std::size_t idx = next_placement_++ % nodes_.size();
+    if (std::find(avoid.begin(), avoid.end(), nodes_[idx]) != avoid.end()) continue;
+    return dfs::Coord{nodes_[idx], allocate_on(idx, len)};
+  }
+  throw std::runtime_error("MetadataService::allocate_spare: no eligible node");
+}
+
+void MetadataService::update_layout(const std::string& name, const FileLayout& updated) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::invalid_argument("MetadataService::update_layout: unknown file " + name);
+  }
+  it->second = updated;
+}
+
+const FileLayout* MetadataService::lookup(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+auth::Capability MetadataService::grant(std::uint64_t client_id, const FileLayout& layout,
+                                        auth::Right rights, std::uint64_t expiry_ps) const {
+  // Conservative extent: cover the address range any target of this object
+  // occupies. All allocations are bump-pointer per node, so granting
+  // [min_addr, max_addr+len) is tight enough for the simulation while
+  // keeping a single capability per object (see paper §IV's rkey-per-file
+  // scalability discussion).
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  const std::uint64_t span =
+      layout.policy.resiliency == dfs::Resiliency::kErasureCoding ? layout.chunk_len : layout.size;
+  auto widen = [&](const dfs::Coord& c) {
+    lo = std::min(lo, c.addr);
+    hi = std::max(hi, c.addr + span);
+  };
+  for (const auto& c : layout.targets) widen(c);
+  for (const auto& c : layout.parity) widen(c);
+  // Parity nodes stage fallback contributions just past the extent.
+  hi += span * 2;
+  return mgmt_.grant(client_id, layout.object_id, rights, expiry_ps, lo, hi - lo);
+}
+
+}  // namespace nadfs::services

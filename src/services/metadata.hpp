@@ -1,0 +1,133 @@
+// Control-plane services (paper §II, Fig. 1a).
+//
+// The management service owns the DFS-shared signing key, authenticates
+// clients, and mints capabilities. The metadata service indexes objects:
+// it chooses storage targets (and parity targets for EC), allocates storage
+// addresses on them, and records the per-file resiliency policy. Clients
+// query it for the file layout before talking to storage nodes directly.
+//
+// Control-plane traffic is off the measured data path in the paper (Fig. 5
+// starts timing at the write request), so these services are functional;
+// their state is what matters: layouts, policies, and granted capabilities.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "auth/capability.hpp"
+#include "common/units.hpp"
+#include "dfs/wire.hpp"
+
+namespace nadfs::services {
+
+/// Per-file resiliency policy (paper §II-A: k can be a global, per-pool, or
+/// per-file parameter; we keep it per-file).
+struct FilePolicy {
+  dfs::Resiliency resiliency = dfs::Resiliency::kNone;
+  dfs::ReplStrategy strategy = dfs::ReplStrategy::kRing;
+  std::uint8_t repl_k = 1;  ///< replication factor
+  std::uint8_t ec_k = 0;    ///< EC data chunks
+  std::uint8_t ec_m = 0;    ///< EC parity chunks
+  /// Striping (plain layouts): spread the object over `stripe_count`
+  /// extents of `stripe_size` bytes, round-robin across storage nodes
+  /// (the "regions composing a file" of the paper's layout model, Fig. 1a).
+  std::uint8_t stripe_count = 1;
+  std::uint64_t stripe_size = 64 * KiB;
+};
+
+struct FileLayout {
+  std::uint64_t object_id = 0;
+  std::uint64_t size = 0;
+  FilePolicy policy;
+  /// Replication: k replica coordinates in rank order (rank 0 = primary).
+  /// EC: the k data-chunk coordinates. Plain: one coordinate per stripe.
+  std::vector<dfs::Coord> targets;
+  /// EC only: the m parity coordinates.
+  std::vector<dfs::Coord> parity;
+  /// EC only: bytes per data chunk (size padded up to k * chunk_len).
+  std::uint64_t chunk_len = 0;
+
+  /// Wire codec (used by the metadata-node RPC service).
+  void serialize(ByteWriter& w) const;
+  static FileLayout deserialize(ByteReader& r);
+
+  bool striped() const { return policy.stripe_count > 1; }
+  /// Stripe index and intra-stripe offset for a byte offset. Striping is
+  /// RAID-0 style: byte b lives in stripe unit (b / stripe_size), units
+  /// round-robin over the `targets` extents.
+  std::pair<std::size_t, std::uint64_t> locate(std::uint64_t offset) const {
+    const std::uint64_t unit = offset / policy.stripe_size;
+    const std::size_t stripe = static_cast<std::size_t>(unit % policy.stripe_count);
+    const std::uint64_t within =
+        (unit / policy.stripe_count) * policy.stripe_size + offset % policy.stripe_size;
+    return {stripe, within};
+  }
+};
+
+class ManagementService {
+ public:
+  explicit ManagementService(auth::Key128 key) : authority_(key) {}
+
+  const auth::Key128& shared_key() const { return authority_.key(); }
+  const auth::CapabilityAuthority& authority() const { return authority_; }
+
+  /// Register a client; returns its id.
+  std::uint64_t register_client() { return next_client_id_++; }
+
+  /// Grant a capability over an extent of an object (control-plane op; the
+  /// metadata service forwards grants through here so only one component
+  /// holds the key).
+  auth::Capability grant(std::uint64_t client_id, std::uint64_t object_id, auth::Right rights,
+                         std::uint64_t expiry_ps, std::uint64_t extent_base,
+                         std::uint64_t extent_len) const {
+    return authority_.mint(client_id, object_id, rights, expiry_ps, extent_base, extent_len);
+  }
+
+ private:
+  auth::CapabilityAuthority authority_;
+  std::uint64_t next_client_id_ = 1;
+};
+
+class MetadataService {
+ public:
+  /// `node_ids` are the storage nodes available for placement.
+  MetadataService(ManagementService& mgmt, std::vector<net::NodeId> node_ids)
+      : mgmt_(mgmt), nodes_(std::move(node_ids)), alloc_ptr_(nodes_.size(), 0) {}
+
+  /// Create an object: places it per `policy` (round-robin across storage
+  /// nodes, failure-domain-disjoint targets) and allocates addresses.
+  const FileLayout& create(const std::string& name, std::uint64_t size, FilePolicy policy);
+
+  const FileLayout* lookup(const std::string& name) const;
+
+  /// Capability covering the object's full extent on every target node.
+  /// (Targets share the address layout, so one extent grant covers all.)
+  auth::Capability grant(std::uint64_t client_id, const FileLayout& layout, auth::Right rights,
+                         std::uint64_t expiry_ps = 0) const;
+
+  std::size_t storage_node_count() const { return nodes_.size(); }
+
+  /// Allocate a fresh extent on a node *not* in `avoid` (recovery targets).
+  /// Throws if no eligible node exists.
+  dfs::Coord allocate_spare(std::uint64_t len, const std::vector<net::NodeId>& avoid);
+
+  /// Record a repaired layout (replaces a failed chunk coordinate). The
+  /// metadata service owns layout mutations; clients see the new version on
+  /// the next lookup.
+  void update_layout(const std::string& name, const FileLayout& updated);
+
+ private:
+  std::uint64_t allocate_on(std::size_t node_idx, std::uint64_t len);
+
+  ManagementService& mgmt_;
+  std::vector<net::NodeId> nodes_;
+  std::vector<std::uint64_t> alloc_ptr_;  ///< bump allocator per node
+  std::unordered_map<std::string, FileLayout> files_;
+  std::uint64_t next_object_id_ = 1;
+  std::size_t next_placement_ = 0;
+};
+
+}  // namespace nadfs::services

@@ -1,0 +1,62 @@
+// Networked metadata node: the control-plane RPC endpoint of Fig. 1a.
+//
+// The paper's workflow: "to access file or object data, [the client]
+// queries the metadata service (1) to retrieve the file layout (2). [...]
+// This information allows the client to communicate directly with the
+// storage node for accessing the data (3)." This service puts steps (1)(2)
+// on the simulated wire: a node on the fabric answering open() RPCs with
+// the serialized layout plus a freshly minted capability, with the host-CPU
+// costs (dispatch, lookup) charged. Step (3) — the data plane — is what the
+// rest of the library measures; the control-plane round trip is paid once
+// per open, off the per-write critical path (Fig. 5 starts timing at the
+// write request).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "services/client.hpp"
+
+namespace nadfs::services {
+
+class MetadataNode {
+ public:
+  /// Attaches a new network node backed by `cluster`'s metadata service.
+  explicit MetadataNode(Cluster& cluster);
+
+  net::NodeId id() const { return node_->id(); }
+  std::uint64_t lookups_served() const { return lookups_; }
+
+ private:
+  void serve(net::NodeId src, std::uint64_t tag, Bytes request, TimePs at);
+
+  Cluster& cluster_;
+  std::unique_ptr<ClientNode> node_;  // RAM + NIC + CPU of the metadata server
+  std::uint64_t lookups_ = 0;
+};
+
+/// Client-side control-plane stub: open an object by name over the wire.
+/// `cb` receives the layout and capability (or nullopt if the name is
+/// unknown) together with the time the response landed.
+class MetadataClient {
+ public:
+  MetadataClient(Client& client, const MetadataNode& server)
+      : client_(client), server_(server.id()) {}
+
+  struct OpenResult {
+    FileLayout layout;
+    auth::Capability cap;
+  };
+  using OpenCb = std::function<void(std::optional<OpenResult>, TimePs)>;
+
+  void open(const std::string& name, auth::Right rights, OpenCb cb);
+
+ private:
+  Client& client_;
+  net::NodeId server_;
+  std::uint64_t next_tag_ = 1;
+  std::unordered_map<std::uint64_t, OpenCb> pending_;
+  bool handler_installed_ = false;
+};
+
+}  // namespace nadfs::services

@@ -1,0 +1,152 @@
+#include "services/recovery.hpp"
+
+namespace nadfs::services {
+
+auth::Capability RecoveryManager::scoped_cap(std::uint64_t object_id, auth::Right right,
+                                             const dfs::Coord& coord,
+                                             std::uint64_t len) const {
+  return cluster_.management().grant(client_.client_id(), object_id, right, 0, coord.addr, len);
+}
+
+void RecoveryManager::collect_chunks(
+    const FileLayout& layout, const std::set<net::NodeId>& failed,
+    std::function<void(std::optional<std::vector<std::pair<unsigned, Bytes>>>, TimePs)> cb) {
+  const unsigned k = layout.policy.ec_k;
+  const unsigned m = layout.policy.ec_m;
+  const auto chunk_len = static_cast<std::uint32_t>(layout.chunk_len);
+
+  // Survivors, data chunks first (systematic reads are free of decoding).
+  std::vector<unsigned> survivors;
+  for (unsigned i = 0; i < k + m; ++i) {
+    const auto& coord = i < k ? layout.targets[i] : layout.parity[i - k];
+    if (!failed.count(coord.node)) survivors.push_back(i);
+  }
+  if (survivors.size() < k) {
+    cb(std::nullopt, cluster_.sim().now());
+    return;
+  }
+  survivors.resize(k);
+
+  struct Gather {
+    std::vector<std::pair<unsigned, Bytes>> chunks;
+    unsigned pending;
+    TimePs last = 0;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->pending = k;
+  gather->chunks.reserve(k);
+
+  for (const unsigned idx : survivors) {
+    const auto& coord = idx < k ? layout.targets[idx] : layout.parity[idx - k];
+    client_.read_extent(coord, scoped_cap(layout.object_id, auth::Right::kRead, coord, chunk_len),
+                        chunk_len,
+                        [gather, idx, cb](Bytes data, TimePs at) {
+                          gather->chunks.emplace_back(idx, std::move(data));
+                          gather->last = std::max(gather->last, at);
+                          if (--gather->pending == 0) {
+                            cb(std::move(gather->chunks), gather->last);
+                          }
+                        });
+  }
+}
+
+void RecoveryManager::degraded_read(const FileLayout& layout,
+                                    const std::set<net::NodeId>& failed, ReadResult cb) {
+  if (layout.policy.resiliency != dfs::Resiliency::kErasureCoding) {
+    throw std::invalid_argument("RecoveryManager::degraded_read: not an EC object");
+  }
+  const auto size = layout.size;
+  const unsigned k = layout.policy.ec_k;
+  const unsigned m = layout.policy.ec_m;
+  collect_chunks(layout, failed,
+                 [k, m, size, cb = std::move(cb)](auto chunks, TimePs at) {
+                   if (!chunks) {
+                     cb(std::nullopt, at);
+                     return;
+                   }
+                   ec::ReedSolomon rs(k, m);
+                   auto data = rs.decode(*chunks);
+                   if (!data) {
+                     cb(std::nullopt, at);
+                     return;
+                   }
+                   Bytes flat;
+                   for (const auto& c : *data) flat.insert(flat.end(), c.begin(), c.end());
+                   flat.resize(size);
+                   cb(std::move(flat), at);
+                 });
+}
+
+void RecoveryManager::rebuild(const std::string& name, const std::set<net::NodeId>& failed,
+                              RebuildResult cb) {
+  const FileLayout* current = cluster_.metadata().lookup(name);
+  if (!current || current->policy.resiliency != dfs::Resiliency::kErasureCoding) {
+    throw std::invalid_argument("RecoveryManager::rebuild: unknown or non-EC object " + name);
+  }
+  const FileLayout layout = *current;
+  const unsigned k = layout.policy.ec_k;
+  const unsigned m = layout.policy.ec_m;
+
+  collect_chunks(
+      layout, failed,
+      [this, layout, name, failed, k, m, cb = std::move(cb)](auto chunks, TimePs at) mutable {
+        if (!chunks) {
+          cb(std::nullopt, at);
+          return;
+        }
+        ec::ReedSolomon rs(k, m);
+        auto data = rs.decode(*chunks);
+        if (!data) {
+          cb(std::nullopt, at);
+          return;
+        }
+        const auto parity = rs.encode(*data);
+
+        // Re-home every chunk that lived on a failed node.
+        FileLayout repaired = layout;
+        std::vector<net::NodeId> avoid(failed.begin(), failed.end());
+        struct Progress {
+          unsigned pending = 0;
+          TimePs last = 0;
+          bool ok = true;
+        };
+        auto progress = std::make_shared<Progress>();
+        std::vector<std::pair<dfs::Coord, const Bytes*>> writes;
+
+        for (unsigned i = 0; i < k + m; ++i) {
+          auto& coord = i < k ? repaired.targets[i] : repaired.parity[i - k];
+          if (!failed.count(coord.node)) continue;
+          coord = cluster_.metadata().allocate_spare(layout.chunk_len, avoid);
+          writes.emplace_back(coord, i < k ? &(*data)[i] : &parity[i - k]);
+        }
+
+        if (writes.empty()) {
+          cluster_.metadata().update_layout(name, repaired);
+          cb(std::move(repaired), at);
+          return;
+        }
+        progress->pending = static_cast<unsigned>(writes.size());
+        progress->last = at;
+        auto repaired_ptr = std::make_shared<FileLayout>(std::move(repaired));
+        for (auto& [coord, bytes] : writes) {
+          ++chunks_rebuilt_;
+          const auto wcap =
+              scoped_cap(layout.object_id, auth::Right::kWrite, coord, layout.chunk_len);
+          client_.write_extent(coord, wcap, *bytes,
+                               [this, progress, repaired_ptr, name, cb](bool ok, TimePs t) {
+                                 progress->ok &= ok;
+                                 progress->last = std::max(progress->last, t);
+                                 if (--progress->pending == 0) {
+                                   if (progress->ok) {
+                                     cluster_.metadata().update_layout(name, *repaired_ptr);
+                                     cb(*repaired_ptr, progress->last);
+                                   } else {
+                                     cb(std::nullopt, progress->last);
+                                   }
+                                 }
+                               });
+        }
+      });
+}
+
+}  // namespace nadfs::services

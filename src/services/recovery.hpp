@@ -1,0 +1,59 @@
+// Erasure-coding recovery: degraded reads and chunk rebuild.
+//
+// Paper §VI-B: "The decoding process should preferably be performed offline
+// to not impact write latency. For example, monitoring services can check
+// the status of the storage nodes and start the recovery process if some of
+// them become unreachable." This manager is that recovery process:
+//
+//   - degraded_read: reconstruct an EC object's contents from any k of the
+//     k+m chunks, skipping nodes the monitoring view marks failed;
+//   - rebuild: re-materialize the chunks lost with failed nodes onto spare
+//     nodes (RS decode on the recovery host, extent writes over the normal
+//     offloaded data path) and publish the repaired layout through the
+//     metadata service.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "ec/reed_solomon.hpp"
+#include "services/client.hpp"
+
+namespace nadfs::services {
+
+class RecoveryManager {
+ public:
+  RecoveryManager(Cluster& cluster, Client& client) : cluster_(cluster), client_(client) {}
+
+  using ReadResult = std::function<void(std::optional<Bytes>, TimePs)>;
+  using RebuildResult = std::function<void(std::optional<FileLayout>, TimePs)>;
+
+  /// Read the full object from any k surviving chunks. Calls back with
+  /// nullopt when fewer than k chunks survive (data loss). The manager is a
+  /// trusted DFS service: it mints its own (properly scoped) capabilities
+  /// through the management service.
+  void degraded_read(const FileLayout& layout, const std::set<net::NodeId>& failed,
+                     ReadResult cb);
+
+  /// Rebuild every chunk (data or parity) hosted on a failed node onto a
+  /// spare, then publish the repaired layout for `name`. Calls back with
+  /// the new layout, or nullopt when the object is unrecoverable.
+  void rebuild(const std::string& name, const std::set<net::NodeId>& failed, RebuildResult cb);
+
+  std::uint64_t chunks_rebuilt() const { return chunks_rebuilt_; }
+
+ private:
+  /// Fetch any k surviving chunks; cb receives (chunk_index, bytes) pairs
+  /// or nullopt.
+  void collect_chunks(
+      const FileLayout& layout, const std::set<net::NodeId>& failed,
+      std::function<void(std::optional<std::vector<std::pair<unsigned, Bytes>>>, TimePs)> cb);
+  auth::Capability scoped_cap(std::uint64_t object_id, auth::Right right,
+                              const dfs::Coord& coord, std::uint64_t len) const;
+
+  Cluster& cluster_;
+  Client& client_;
+  std::uint64_t chunks_rebuilt_ = 0;
+};
+
+}  // namespace nadfs::services

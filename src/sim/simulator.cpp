@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace nadfs::sim {
+
+void Simulator::schedule_at(TimePs when, EventFn fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: event scheduled in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before popping: the callback may schedule new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+TimePs Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+TimePs Simulator::run_until(TimePs deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace nadfs::sim

@@ -1,0 +1,69 @@
+// Discrete-event simulation core.
+//
+// This is the substrate standing in for SST in the paper's methodology
+// (DESIGN.md §1): a single-threaded event queue with picosecond-resolution
+// simulated time. Components (links, NICs, PsPIN clusters, host CPUs)
+// schedule callbacks; determinism is guaranteed by a monotonically
+// increasing sequence number that breaks ties between same-time events in
+// scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nadfs::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePs now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule(TimePs delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at an absolute time (must not be in the past).
+  void schedule_at(TimePs when, EventFn fn);
+
+  /// Run until the event queue drains. Returns the final time.
+  TimePs run();
+
+  /// Run until the event queue drains or `deadline` is reached (events at
+  /// exactly `deadline` still execute). Returns the final time.
+  TimePs run_until(TimePs deadline);
+
+  /// Execute a single event. Returns false if the queue was empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePs when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nadfs::sim

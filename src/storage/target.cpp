@@ -1,0 +1,57 @@
+#include "storage/target.hpp"
+
+#include <stdexcept>
+
+namespace nadfs::storage {
+
+Target::Target(sim::Simulator& simulator, TargetConfig config)
+    : sim_(simulator), config_(config), ingest_(simulator, config.ingest) {}
+
+TimePs Target::write(std::uint64_t addr, ByteSpan data, TimePs earliest) {
+  if (addr + data.size() > config_.capacity) {
+    throw std::out_of_range("storage::Target::write: beyond capacity");
+  }
+  std::uint64_t pos = addr;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::size_t n =
+        std::min<std::size_t>(data.size() - off, static_cast<std::size_t>(kPageSize - in_page));
+    auto& pg = pages_[page];
+    if (pg.empty()) pg.assign(kPageSize, 0);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+              data.begin() + static_cast<std::ptrdiff_t>(off + n),
+              pg.begin() + static_cast<std::ptrdiff_t>(in_page));
+    pos += n;
+    off += n;
+  }
+  bytes_written_ += data.size();
+  return ingest_.reserve(data.size(), earliest).end;
+}
+
+Bytes Target::read(std::uint64_t addr, std::size_t len) const {
+  if (addr + len > config_.capacity) {
+    throw std::out_of_range("storage::Target::read: beyond capacity");
+  }
+  Bytes out(len, 0);
+  std::uint64_t pos = addr;
+  std::size_t off = 0;
+  while (off < len) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::size_t n =
+        std::min<std::size_t>(len - off, static_cast<std::size_t>(kPageSize - in_page));
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::copy(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n),
+                out.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    pos += n;
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace nadfs::storage

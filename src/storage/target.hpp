@@ -1,0 +1,51 @@
+// Storage target model (NVMM / NVMe-JBOF stand-in).
+//
+// The paper deliberately does not model a specific medium: "we assume that
+// the storage medium can digest data at network bandwidth or higher"
+// (§III). We keep the same assumption: a byte-addressable target with a
+// configurable ingest bandwidth (default faster than the 400 Gbit/s line
+// rate) and a functional backing store so tests can verify that every
+// protocol actually lands the right bytes at the right addresses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace nadfs::storage {
+
+struct TargetConfig {
+  std::uint64_t capacity = 1ull << 40;  ///< addressable bytes
+  /// Ingest rate; default 64 GB/s > 50 GB/s (400 Gbit/s) line rate.
+  Bandwidth ingest = Bandwidth::from_gbytes_per_sec(64.0);
+};
+
+class Target {
+ public:
+  Target(sim::Simulator& simulator, TargetConfig config = {});
+
+  /// Functional write of `data` at `addr`; returns the time the data is
+  /// durable (after queueing on the ingest unit starting at `earliest`).
+  TimePs write(std::uint64_t addr, ByteSpan data, TimePs earliest = 0);
+
+  /// Functional read; missing (never-written) bytes read as zero.
+  Bytes read(std::uint64_t addr, std::size_t len) const;
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t capacity() const { return config_.capacity; }
+
+ private:
+  static constexpr std::uint64_t kPageBits = 12;  // 4 KiB pages, sparse store
+  static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+  sim::Simulator& sim_;
+  TargetConfig config_;
+  sim::GapServer ingest_;
+  std::unordered_map<std::uint64_t, Bytes> pages_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace nadfs::storage

@@ -1,0 +1,74 @@
+// Tests of the analytic models behind Fig. 4 and Fig. 16 (right).
+#include <gtest/gtest.h>
+
+#include "analysis/models.hpp"
+
+namespace nadfs::analysis {
+namespace {
+
+TEST(NicMemoryModel, CapacityMatchesPaper) {
+  NicMemoryModel model;
+  // ~82 K concurrent writes at 77 B per descriptor in 6 MiB (§III-B.2).
+  EXPECT_GT(model.capacity_writes(), 81000u);
+  EXPECT_LT(model.capacity_writes(), 82000u);
+  EXPECT_EQ(model.memory_for(1000), 77000u);
+}
+
+TEST(NicMemoryModel, ServiceTimeGrowsWithSize) {
+  NicMemoryModel model;
+  EXPECT_LT(model.service_time(1 * KiB), model.service_time(1 * MiB));
+  // 1 MiB at 400 Gbit/s ~ 21 us transfer + overhead.
+  EXPECT_NEAR(static_cast<double>(model.service_time(1 * MiB)),
+              static_cast<double>(us(21) + model.base_overhead), 1e9 * 0.5);
+}
+
+TEST(NicMemoryModel, LittlesLawMonotonicity) {
+  NicMemoryModel model;
+  // Small writes at line rate mean MANY in flight (overhead-dominated);
+  // large writes converge towards ~1 (transfer-dominated).
+  const double small = model.concurrent_writes_at_line_rate(1 * KiB);
+  const double large = model.concurrent_writes_at_line_rate(1 * MiB);
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 10.0);
+  EXPECT_NEAR(large, 1.0 + static_cast<double>(model.base_overhead) /
+                               static_cast<double>(model.line_rate.transfer_time(1 * MiB)),
+              0.01);
+}
+
+TEST(HpuBudgetModel, PaperBudgetLine) {
+  // 2 KiB packets at 400 Gbit/s with 32 HPUs: ~1310 ns per handler (§VI-C).
+  HpuBudgetModel model;
+  EXPECT_EQ(model.packet_interval(Bandwidth::from_gbps(400.0)), TimePs{40960});
+  EXPECT_NEAR(static_cast<double>(model.handler_budget(Bandwidth::from_gbps(400.0), 32)),
+              1310.0 * 1000, 2000);
+  // 200 Gbit/s doubles the budget.
+  EXPECT_EQ(model.handler_budget(Bandwidth::from_gbps(200.0), 32),
+            2 * model.handler_budget(Bandwidth::from_gbps(400.0), 32));
+}
+
+TEST(HpuBudgetModel, HpusNeededRoundsUp) {
+  HpuBudgetModel model;
+  const auto rate = Bandwidth::from_gbps(400.0);
+  // Handler exactly one packet interval: one HPU suffices.
+  EXPECT_EQ(model.hpus_needed(rate, TimePs{40960}), 1u);
+  EXPECT_EQ(model.hpus_needed(rate, TimePs{40961}), 2u);
+  // The paper's RS(6,3) case: ~23 us handlers need hundreds of HPUs at
+  // 400 Gbit/s (the paper quotes the 512-HPU configuration).
+  const unsigned needed = model.hpus_needed(rate, ns(23018));
+  EXPECT_GT(needed, 32u);
+  EXPECT_LE(needed, 1024u);
+  EXPECT_EQ(needed, 562u);  // exact ceil(23018 / 40.96)
+}
+
+TEST(HpuBudgetModel, RingHandlersFitThirtyTwoHpus) {
+  // Table I: ring PH ~193 ns stays far below the 1310 ns budget — the
+  // reason sPIN-Ring sustains line rate in Fig. 9 (right).
+  HpuBudgetModel model;
+  EXPECT_LE(model.hpus_needed(Bandwidth::from_gbps(400.0), ns(193)), 32u);
+  EXPECT_LE(model.hpus_needed(Bandwidth::from_gbps(400.0), ns(211)), 32u);
+  // PBT's stalled PH (~2106 ns) does NOT fit: >32 HPUs would be needed.
+  EXPECT_GT(model.hpus_needed(Bandwidth::from_gbps(400.0), ns(2106)), 32u);
+}
+
+}  // namespace
+}  // namespace nadfs::analysis

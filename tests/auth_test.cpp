@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "auth/capability.hpp"
+#include "auth/siphash.hpp"
+#include "common/units.hpp"
+
+namespace nadfs::auth {
+namespace {
+
+Key128 test_key() {
+  Key128 k;
+  for (std::size_t i = 0; i < k.size(); ++i) k[i] = static_cast<std::uint8_t>(i);
+  return k;
+}
+
+// ------------------------------------------------------------- SipHash
+
+TEST(SipHash, ReferenceVectors) {
+  // Official SipHash-2-4 test vectors: key 000102...0f, messages of
+  // increasing length 00, 0001, 000102, ...
+  static constexpr std::uint64_t kExpected[] = {
+      0x726fdb47dd0e0e31ull, 0x74f839c593dc67fdull, 0x0d6c8009d9a94f5aull,
+      0x85676696d7fb7e2dull, 0xcf2794e0277187b7ull, 0x18765564cd99a68dull,
+      0xcbc9466e58fee3ceull, 0xab0200f58b01d137ull, 0x93f5f5799a932462ull,
+  };
+  const auto key = test_key();
+  Bytes msg;
+  for (std::size_t len = 0; len < std::size(kExpected); ++len) {
+    EXPECT_EQ(siphash24(key, msg), kExpected[len]) << "len=" << len;
+    msg.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+TEST(SipHash, KeySensitivity) {
+  const Bytes msg{1, 2, 3, 4, 5};
+  auto k1 = test_key();
+  auto k2 = test_key();
+  k2[0] ^= 1;
+  EXPECT_NE(siphash24(k1, msg), siphash24(k2, msg));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const auto key = test_key();
+  Bytes m1{1, 2, 3};
+  Bytes m2{1, 2, 4};
+  EXPECT_NE(siphash24(key, m1), siphash24(key, m2));
+}
+
+TEST(SipHash, LongMessage) {
+  const auto key = test_key();
+  Bytes msg(10000);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i * 7);
+  const auto h1 = siphash24(key, msg);
+  msg[9999] ^= 1;
+  EXPECT_NE(siphash24(key, msg), h1);
+}
+
+// ---------------------------------------------------------- Capability
+
+TEST(Capability, MintVerifyRoundTrip) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(7, 42, Right::kWrite, us(100), 0x1000, 0x2000);
+  EXPECT_TRUE(authority.verify_mac(cap));
+  EXPECT_TRUE(authority.verify(cap, ns(10), Right::kWrite, 0x1000, 0x800));
+}
+
+TEST(Capability, TamperedFieldFailsMac) {
+  CapabilityAuthority authority(test_key());
+  auto cap = authority.mint(7, 42, Right::kWrite, us(100), 0x1000, 0x2000);
+  cap.object_id = 43;  // escalate to another object
+  EXPECT_FALSE(authority.verify_mac(cap));
+  EXPECT_FALSE(authority.verify(cap, 0, Right::kWrite, 0x1000, 1));
+}
+
+TEST(Capability, WrongKeyFails) {
+  CapabilityAuthority a(test_key());
+  auto other = test_key();
+  other[15] ^= 0x80;
+  CapabilityAuthority b(other);
+  const auto cap = a.mint(1, 2, Right::kReadWrite, 0, 0, 100);
+  EXPECT_FALSE(b.verify_mac(cap));
+}
+
+TEST(Capability, ExpiryEnforced) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(1, 2, Right::kWrite, us(10), 0, 100);
+  EXPECT_TRUE(authority.verify(cap, us(10), Right::kWrite, 0, 10));
+  EXPECT_FALSE(authority.verify(cap, us(10) + 1, Right::kWrite, 0, 10));
+}
+
+TEST(Capability, ZeroExpiryNeverExpires) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(1, 2, Right::kWrite, 0, 0, 100);
+  EXPECT_TRUE(authority.verify(cap, ms(999), Right::kWrite, 0, 10));
+}
+
+TEST(Capability, RightsLattice) {
+  EXPECT_TRUE(allows(Right::kReadWrite, Right::kRead));
+  EXPECT_TRUE(allows(Right::kReadWrite, Right::kWrite));
+  EXPECT_TRUE(allows(Right::kRead, Right::kRead));
+  EXPECT_FALSE(allows(Right::kRead, Right::kWrite));
+  EXPECT_FALSE(allows(Right::kWrite, Right::kRead));
+  EXPECT_FALSE(allows(Right::kNone, Right::kRead));
+}
+
+TEST(Capability, ReadCapCannotWrite) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(1, 2, Right::kRead, 0, 0, 100);
+  EXPECT_TRUE(authority.verify(cap, 0, Right::kRead, 0, 10));
+  EXPECT_FALSE(authority.verify(cap, 0, Right::kWrite, 0, 10));
+}
+
+TEST(Capability, ExtentBoundsEnforced) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(1, 2, Right::kWrite, 0, 0x1000, 0x100);
+  EXPECT_TRUE(authority.verify(cap, 0, Right::kWrite, 0x1000, 0x100));
+  EXPECT_FALSE(authority.verify(cap, 0, Right::kWrite, 0xFFF, 2));       // below
+  EXPECT_FALSE(authority.verify(cap, 0, Right::kWrite, 0x10FF, 2));     // past end
+  EXPECT_FALSE(authority.verify(cap, 0, Right::kWrite, 0x2000, 1));     // disjoint
+}
+
+TEST(Capability, SerializationRoundTrip) {
+  CapabilityAuthority authority(test_key());
+  const auto cap = authority.mint(11, 22, Right::kReadWrite, us(5), 0xAB, 0xCD);
+  Bytes buf;
+  ByteWriter w(buf);
+  cap.serialize(w);
+  EXPECT_EQ(buf.size(), Capability::kWireBytes);
+  ByteReader r(buf);
+  const auto got = Capability::deserialize(r);
+  EXPECT_EQ(got.client_id, cap.client_id);
+  EXPECT_EQ(got.object_id, cap.object_id);
+  EXPECT_EQ(got.rights, cap.rights);
+  EXPECT_EQ(got.expiry_ps, cap.expiry_ps);
+  EXPECT_EQ(got.extent_base, cap.extent_base);
+  EXPECT_EQ(got.extent_len, cap.extent_len);
+  EXPECT_EQ(got.mac, cap.mac);
+  EXPECT_TRUE(authority.verify_mac(got));
+}
+
+}  // namespace
+}  // namespace nadfs::auth

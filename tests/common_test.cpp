@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace nadfs {
+namespace {
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(ns(1), 1000u);
+  EXPECT_EQ(us(1), 1000u * 1000u);
+  EXPECT_EQ(ms(1), 1000u * 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(to_ns(ns(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_us(us(7)), 7.0);
+}
+
+TEST(Units, BandwidthPaperLineRate) {
+  // 400 Gbit/s = 20 ps per byte; a 2048 B packet serializes in 40.96 ns,
+  // the per-packet line-rate interval the paper's budget math relies on.
+  const auto bw = Bandwidth::from_gbps(400.0);
+  EXPECT_DOUBLE_EQ(bw.ps_per_byte(), 20.0);
+  EXPECT_EQ(bw.transfer_time(2048), TimePs{40960});
+}
+
+TEST(Units, BandwidthFromGBytes) {
+  const auto bw = Bandwidth::from_gbytes_per_sec(25.0);
+  EXPECT_DOUBLE_EQ(bw.ps_per_byte(), 40.0);
+  EXPECT_EQ(bw.transfer_time(1 * MiB), TimePs{1024 * 1024 * 40});
+}
+
+TEST(Units, BandwidthRoundTripGbps) {
+  const auto bw = Bandwidth::from_gbps(100.0);
+  EXPECT_NEAR(bw.gbps(), 100.0, 1e-9);
+}
+
+TEST(Units, TransferTimeZeroBytes) {
+  EXPECT_EQ(Bandwidth::from_gbps(400.0).transfer_time(0), TimePs{0});
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(500), "500 ps");
+  EXPECT_EQ(format_time(ns(1500)), "1.50 us");
+}
+
+TEST(Units, FormatSize) {
+  EXPECT_EQ(format_size(512), "512 B");
+  EXPECT_EQ(format_size(2 * KiB), "2 KiB");
+  EXPECT_EQ(format_size(3 * MiB), "3 MiB");
+}
+
+// ---------------------------------------------------------------- bytes
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint8_t>(0xAB);
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<std::uint64_t>(0x0123456789ABCDEFull);
+  const Bytes blob{1, 2, 3, 4, 5};
+  w.put_bytes(blob);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789ABCDEFull);
+  const auto got = r.get_bytes(5);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), blob.begin()));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderThrowsOnTruncation) {
+  Bytes buf{1, 2, 3};
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint32_t>(), std::out_of_range);
+  ByteReader r2(buf);
+  (void)r2.get<std::uint8_t>();
+  EXPECT_THROW(r2.get_bytes(3), std::out_of_range);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint32_t>(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values hit
+}
+
+TEST(Rng, NextDoubleUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, PercentileInterpolation) {
+  Summary s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 0.0);
+}
+
+TEST(Summary, UnsortedInsertionOrder) {
+  Summary s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace nadfs

@@ -1,0 +1,323 @@
+// Unit tests for the DFS core: wire codecs (Fig. 3), broadcast tree
+// helpers, request table, and accumulator pool.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dfs/handlers.hpp"
+#include "dfs/req_table.hpp"
+#include "dfs/wire.hpp"
+
+namespace nadfs::dfs {
+namespace {
+
+auth::Capability test_cap() {
+  auth::Key128 key{};
+  key[0] = 1;
+  auth::CapabilityAuthority authority(key);
+  return authority.mint(7, 42, auth::Right::kWrite, us(10), 0x1000, 0x9000);
+}
+
+DfsHeader test_header(OpType op = OpType::kWrite) {
+  DfsHeader h;
+  h.op = op;
+  h.greq_id = 0xABCDEF0123ull;
+  h.client_node = 3;
+  h.cap = test_cap();
+  return h;
+}
+
+// --------------------------------------------------------------- codecs
+
+TEST(Wire, DfsHeaderRoundTrip) {
+  const auto h = test_header();
+  Bytes buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  EXPECT_EQ(buf.size(), DfsHeader::kWireBytes);
+  ByteReader r(buf);
+  const auto got = DfsHeader::deserialize(r);
+  EXPECT_EQ(got.op, h.op);
+  EXPECT_EQ(got.greq_id, h.greq_id);
+  EXPECT_EQ(got.client_node, h.client_node);
+  EXPECT_EQ(got.cap.mac, h.cap.mac);
+}
+
+TEST(Wire, WrhPlainRoundTrip) {
+  WriteRequestHeader wrh;
+  wrh.dest_addr = 0x2000;
+  wrh.total_len = 12345;
+  Bytes buf;
+  ByteWriter w(buf);
+  wrh.serialize(w);
+  EXPECT_EQ(buf.size(), wrh.wire_bytes());
+  ByteReader r(buf);
+  const auto got = WriteRequestHeader::deserialize(r);
+  EXPECT_EQ(got.dest_addr, wrh.dest_addr);
+  EXPECT_EQ(got.total_len, wrh.total_len);
+  EXPECT_EQ(got.resiliency, Resiliency::kNone);
+}
+
+TEST(Wire, WrhReplicationRoundTrip) {
+  WriteRequestHeader wrh;
+  wrh.dest_addr = 0x2000;
+  wrh.total_len = 999;
+  wrh.resiliency = Resiliency::kReplication;
+  wrh.strategy = ReplStrategy::kPbt;
+  wrh.virtual_rank = 2;
+  wrh.replicas = {{0, 0x10}, {1, 0x20}, {2, 0x30}, {5, 0x40}};
+  Bytes buf;
+  ByteWriter w(buf);
+  wrh.serialize(w);
+  EXPECT_EQ(buf.size(), wrh.wire_bytes());
+  ByteReader r(buf);
+  const auto got = WriteRequestHeader::deserialize(r);
+  EXPECT_EQ(got.strategy, ReplStrategy::kPbt);
+  EXPECT_EQ(got.virtual_rank, 2);
+  EXPECT_EQ(got.replicas, wrh.replicas);
+}
+
+TEST(Wire, WrhErasureCodingRoundTrip) {
+  WriteRequestHeader wrh;
+  wrh.dest_addr = 0x3000;
+  wrh.total_len = 4096;
+  wrh.resiliency = Resiliency::kErasureCoding;
+  wrh.ec_k = 6;
+  wrh.ec_m = 3;
+  wrh.role = EcRole::kParity;
+  wrh.data_idx = 4;
+  wrh.parity_nodes = {{7, 0x100}, {8, 0x200}, {9, 0x300}};
+  Bytes buf;
+  ByteWriter w(buf);
+  wrh.serialize(w);
+  ByteReader r(buf);
+  const auto got = WriteRequestHeader::deserialize(r);
+  EXPECT_EQ(got.ec_k, 6);
+  EXPECT_EQ(got.ec_m, 3);
+  EXPECT_EQ(got.role, EcRole::kParity);
+  EXPECT_EQ(got.data_idx, 4);
+  EXPECT_EQ(got.parity_nodes, wrh.parity_nodes);
+}
+
+TEST(Wire, ParseRequestWrite) {
+  const auto hdr = test_header();
+  WriteRequestHeader wrh;
+  wrh.dest_addr = 0x1234;
+  wrh.total_len = 77;
+  Bytes buf;
+  ByteWriter w(buf);
+  hdr.serialize(w);
+  wrh.serialize(w);
+  const Bytes data{9, 9, 9};
+  w.put_bytes(data);
+
+  const auto parsed = parse_request(buf);
+  EXPECT_EQ(parsed.dfs.greq_id, hdr.greq_id);
+  EXPECT_EQ(parsed.wrh.dest_addr, 0x1234u);
+  EXPECT_EQ(parsed.header_bytes, buf.size() - data.size());
+}
+
+TEST(Wire, ParseRequestRead) {
+  const auto hdr = test_header(OpType::kRead);
+  ReadRequestHeader rrh;
+  rrh.src_addr = 0x4000;
+  rrh.len = 512;
+  Bytes buf;
+  ByteWriter w(buf);
+  hdr.serialize(w);
+  rrh.serialize(w);
+  const auto parsed = parse_request(buf);
+  EXPECT_EQ(parsed.dfs.op, OpType::kRead);
+  EXPECT_EQ(parsed.rrh.src_addr, 0x4000u);
+  EXPECT_EQ(parsed.rrh.len, 512u);
+}
+
+TEST(Wire, ParseTruncatedThrows) {
+  Bytes buf{1, 2, 3};
+  EXPECT_THROW(parse_request(buf), std::out_of_range);
+}
+
+// ----------------------------------------------------- packet building
+
+class BuildWritePackets : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BuildWritePackets, CoversDataExactly) {
+  const std::size_t size = GetParam();
+  const std::size_t mtu = 2048;
+  Rng rng(size);
+  Bytes data(size);
+  for (auto& b : data) b = rng.next_byte();
+
+  WriteRequestHeader wrh;
+  wrh.dest_addr = 0;
+  wrh.total_len = size;
+  const auto pkts = build_write_packets(1, 2, mtu, test_header(), wrh, data);
+
+  ASSERT_FALSE(pkts.empty());
+  // Only the first packet carries DFS headers (Fig. 3).
+  const auto parsed = parse_request(pkts[0].data);
+  EXPECT_EQ(parsed.wrh.total_len, size);
+
+  // Reassemble the payload from (raddr, bytes) and compare.
+  Bytes reassembled(size, 0);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const auto& p = pkts[i];
+    EXPECT_LE(p.data.size(), mtu);
+    EXPECT_EQ(p.seq, i);
+    EXPECT_EQ(p.pkt_count, pkts.size());
+    EXPECT_EQ(p.msg_id, test_header().greq_id);
+    const std::size_t skip = p.first() ? parsed.header_bytes : 0;
+    const std::size_t n = p.data.size() - skip;
+    std::copy(p.data.begin() + static_cast<std::ptrdiff_t>(skip), p.data.end(),
+              reassembled.begin() + static_cast<std::ptrdiff_t>(p.raddr));
+    covered += n;
+  }
+  EXPECT_EQ(covered, size);
+  EXPECT_EQ(reassembled, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BuildWritePackets,
+                         ::testing::Values(0, 1, 100, 1900, 1950, 2048, 4096, 10000, 65536),
+                         [](const ::testing::TestParamInfo<std::size_t>& pinfo) {
+                           return "bytes" + std::to_string(pinfo.param);
+                         });
+
+TEST(Wire, ReadPacketIsSinglePacket) {
+  ReadRequestHeader rrh;
+  rrh.src_addr = 8;
+  rrh.len = 100;
+  const auto pkts = build_read_packets(1, 2, test_header(OpType::kRead), rrh);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_TRUE(pkts[0].first());
+  EXPECT_TRUE(pkts[0].last());
+}
+
+// -------------------------------------------------------- broadcast tree
+
+TEST(Broadcast, RingChildren) {
+  EXPECT_EQ(broadcast_children(0, 4, ReplStrategy::kRing), (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(broadcast_children(2, 4, ReplStrategy::kRing), (std::vector<std::uint8_t>{3}));
+  EXPECT_TRUE(broadcast_children(3, 4, ReplStrategy::kRing).empty());
+  EXPECT_TRUE(broadcast_children(0, 1, ReplStrategy::kRing).empty());
+}
+
+TEST(Broadcast, PbtChildren) {
+  EXPECT_EQ(broadcast_children(0, 7, ReplStrategy::kPbt), (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(broadcast_children(1, 7, ReplStrategy::kPbt), (std::vector<std::uint8_t>{3, 4}));
+  EXPECT_EQ(broadcast_children(2, 6, ReplStrategy::kPbt), (std::vector<std::uint8_t>{5}));
+  EXPECT_TRUE(broadcast_children(3, 7, ReplStrategy::kPbt).empty());
+}
+
+class BroadcastCoverage
+    : public ::testing::TestWithParam<std::tuple<ReplStrategy, std::uint8_t>> {};
+
+TEST_P(BroadcastCoverage, EveryRankReachedExactlyOnce) {
+  // The tree rooted at rank 0 must reach ranks 1..k-1 exactly once — the
+  // invariant that makes the client-driven broadcast write each replica
+  // exactly once.
+  const auto [strategy, k] = GetParam();
+  std::vector<int> reached(k, 0);
+  reached[0] = 1;
+  for (std::uint8_t r = 0; r < k; ++r) {
+    for (const auto child : broadcast_children(r, k, strategy)) {
+      ASSERT_LT(child, k);
+      reached[child]++;
+    }
+  }
+  for (unsigned r = 0; r < k; ++r) EXPECT_EQ(reached[r], 1) << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trees, BroadcastCoverage,
+    ::testing::Combine(::testing::Values(ReplStrategy::kRing, ReplStrategy::kPbt),
+                       ::testing::Values(std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3},
+                                         std::uint8_t{5}, std::uint8_t{8}, std::uint8_t{16})),
+    [](const ::testing::TestParamInfo<std::tuple<ReplStrategy, std::uint8_t>>& pinfo) {
+      return std::string(repl_strategy_name(std::get<0>(pinfo.param))) + "_k" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(Broadcast, DepthFormulas) {
+  EXPECT_EQ(broadcast_depth(1, ReplStrategy::kRing), 0u);
+  EXPECT_EQ(broadcast_depth(4, ReplStrategy::kRing), 3u);
+  EXPECT_EQ(broadcast_depth(8, ReplStrategy::kRing), 7u);
+  EXPECT_EQ(broadcast_depth(2, ReplStrategy::kPbt), 1u);
+  EXPECT_EQ(broadcast_depth(4, ReplStrategy::kPbt), 2u);
+  EXPECT_EQ(broadcast_depth(8, ReplStrategy::kPbt), 3u);
+}
+
+// ----------------------------------------------------------- req table
+
+TEST(ReqTable, CapacityMatchesPaper) {
+  // 6 MiB at 77 B per descriptor -> ~82 K concurrent writes (§III-B.2).
+  ReqTable table(6 * MiB);
+  EXPECT_EQ(table.capacity(), (6 * MiB) / 77);
+  EXPECT_GT(table.capacity(), 81000u);
+  EXPECT_LT(table.capacity(), 82000u);
+}
+
+TEST(ReqTable, AllocReleaseRecycles) {
+  ReqTable table(77 * 2);  // two slots
+  auto a = table.alloc();
+  auto b = table.alloc();
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(table.alloc().has_value());
+  EXPECT_EQ(table.denials(), 1u);
+  table.release(*a);
+  auto c = table.alloc();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a);  // slot recycled
+}
+
+TEST(ReqTable, HighWaterTracksPeak) {
+  ReqTable table(77 * 8);
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 5; ++i) slots.push_back(*table.alloc());
+  EXPECT_EQ(table.high_water(), 5u);
+  for (const auto s : slots) table.release(s);
+  EXPECT_EQ(table.in_use(), 0u);
+  EXPECT_EQ(table.high_water(), 5u);
+  (void)table.alloc();
+  EXPECT_EQ(table.high_water(), 5u);
+}
+
+// ------------------------------------------------------ accumulator pool
+
+TEST(AccumulatorPool, SizedByPacketBuffers) {
+  AccumulatorPool pool(1 * MiB, 2048);
+  EXPECT_EQ(pool.total(), 512u);
+}
+
+TEST(AccumulatorPool, ExhaustionCountsFailures) {
+  AccumulatorPool pool(4096, 2048);  // two accumulators
+  auto a = pool.alloc(100);
+  auto b = pool.alloc(200);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(pool.alloc(100).has_value());
+  EXPECT_EQ(pool.failures(), 1u);
+  pool.release(*a);
+  EXPECT_TRUE(pool.alloc(100).has_value());
+}
+
+TEST(AccumulatorPool, BuffersZeroedOnAlloc) {
+  AccumulatorPool pool(4096, 2048);
+  auto a = pool.alloc(64);
+  pool.buffer(*a)[5] = 0xFF;
+  pool.release(*a);
+  auto b = pool.alloc(64);
+  EXPECT_EQ(*a, *b);  // recycled
+  EXPECT_EQ(pool.buffer(*b)[5], 0);
+}
+
+TEST(AccumulatorPool, ZeroByteAccumulatorPoolIsEmpty) {
+  AccumulatorPool pool(0, 2048);
+  EXPECT_EQ(pool.total(), 0u);
+  EXPECT_FALSE(pool.alloc(10).has_value());
+}
+
+}  // namespace
+}  // namespace nadfs::dfs

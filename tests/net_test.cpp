@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace nadfs::net {
+namespace {
+
+struct Collector : PacketSink {
+  std::vector<std::pair<TimePs, Packet>> got;
+  sim::Simulator* sim = nullptr;
+  void on_packet(Packet&& pkt) override { got.emplace_back(sim->now(), std::move(pkt)); }
+};
+
+struct Rig {
+  sim::Simulator sim;
+  Network net;
+  Collector a, b, c;
+  NodeId na, nb, nc;
+
+  explicit Rig(NetworkConfig cfg = {}) : net(sim, cfg) {
+    a.sim = &sim;
+    b.sim = &sim;
+    c.sim = &sim;
+    na = net.add_node(a);
+    nb = net.add_node(b);
+    nc = net.add_node(c);
+  }
+
+  Packet make(NodeId src, NodeId dst, std::size_t payload) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.opcode = Opcode::kRdmaWrite;
+    p.msg_id = 1;
+    p.data.assign(payload, 0x5A);
+    return p;
+  }
+};
+
+TEST(Network, SinglePacketLatency) {
+  Rig rig;
+  auto p = rig.make(rig.na, rig.nb, 1000);
+  const std::size_t wire = p.wire_size();
+  rig.net.inject(std::move(p));
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), 1u);
+  // store-and-forward: 2x serialization + 2x link latency + switch latency
+  const TimePs ser = rig.net.config().link_bandwidth.transfer_time(wire);
+  const TimePs expect = 2 * ser + 2 * rig.net.config().link_latency + rig.net.config().switch_latency;
+  EXPECT_EQ(rig.b.got[0].first, expect);
+}
+
+TEST(Network, UplinkSerializesSuccessivePackets) {
+  Rig rig;
+  rig.net.inject(rig.make(rig.na, rig.nb, 2048));
+  rig.net.inject(rig.make(rig.na, rig.nb, 2048));
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), 2u);
+  const TimePs ser = rig.net.config().link_bandwidth.transfer_time(2048 + kTransportHeaderBytes);
+  EXPECT_EQ(rig.b.got[1].first - rig.b.got[0].first, ser);
+}
+
+TEST(Network, IncastContendsOnDownlink) {
+  Rig rig;
+  // a and c both send to b at the same instant: b's downlink serializes them.
+  rig.net.inject(rig.make(rig.na, rig.nb, 2048));
+  rig.net.inject(rig.make(rig.nc, rig.nb, 2048));
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), 2u);
+  const TimePs ser = rig.net.config().link_bandwidth.transfer_time(2048 + kTransportHeaderBytes);
+  EXPECT_EQ(rig.b.got[1].first - rig.b.got[0].first, ser);
+}
+
+TEST(Network, DistinctDestinationsDoNotContend) {
+  Rig rig;
+  rig.net.inject(rig.make(rig.na, rig.nb, 2048));
+  rig.net.inject(rig.make(rig.nc, rig.na, 2048));
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), 1u);
+  ASSERT_EQ(rig.a.got.size(), 1u);
+  EXPECT_EQ(rig.b.got[0].first, rig.a.got[0].first);
+}
+
+TEST(Network, FifoDeliveryPerPath) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    auto p = rig.make(rig.na, rig.nb, 512);
+    p.seq = i;
+    p.pkt_count = 16;
+    rig.net.inject(std::move(p));
+  }
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(rig.b.got[i].second.seq, i);
+  }
+}
+
+TEST(Network, RejectsOversizedPayload) {
+  Rig rig;
+  EXPECT_THROW(rig.net.inject(rig.make(rig.na, rig.nb, rig.net.mtu() + 1)), std::length_error);
+}
+
+TEST(Network, RejectsUnknownNode) {
+  Rig rig;
+  auto p = rig.make(rig.na, 99, 100);
+  EXPECT_THROW(rig.net.inject(std::move(p)), std::out_of_range);
+}
+
+TEST(Network, DeliveredPayloadAccounting) {
+  Rig rig;
+  rig.net.inject(rig.make(rig.na, rig.nb, 1000));
+  rig.net.inject(rig.make(rig.nc, rig.nb, 500));
+  rig.sim.run();
+  EXPECT_EQ(rig.net.delivered_payload_bytes(rig.nb), 1500u);
+  EXPECT_EQ(rig.net.delivered_payload_bytes(rig.na), 0u);
+}
+
+TEST(Network, EarliestDelaysInjection) {
+  Rig rig;
+  auto p = rig.make(rig.na, rig.nb, 100);
+  const auto w = rig.net.inject(std::move(p), ns(500));
+  EXPECT_EQ(w.start, ns(500));
+}
+
+TEST(Network, PaperLineRateIsSustained) {
+  // 256 MTU packets back to back: delivery rate equals the serialization
+  // rate of the bottleneck link (400 Gbit/s).
+  Rig rig;
+  const std::size_t n = 256;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto p = rig.make(rig.na, rig.nb, 2048);
+    p.seq = i;
+    p.pkt_count = n;
+    rig.net.inject(std::move(p));
+  }
+  rig.sim.run();
+  ASSERT_EQ(rig.b.got.size(), n);
+  const TimePs span = rig.b.got.back().first - rig.b.got.front().first;
+  const TimePs ser = rig.net.config().link_bandwidth.transfer_time(2048 + kTransportHeaderBytes);
+  EXPECT_EQ(span, (n - 1) * ser);
+}
+
+TEST(Network, WireSizeIncludesTransportHeader) {
+  Packet p;
+  p.data.assign(100, 0);
+  EXPECT_EQ(p.wire_size(), 100 + kTransportHeaderBytes);
+}
+
+TEST(Network, FirstLastFlags) {
+  Packet p;
+  p.seq = 0;
+  p.pkt_count = 1;
+  EXPECT_TRUE(p.first());
+  EXPECT_TRUE(p.last());
+  p.pkt_count = 3;
+  EXPECT_TRUE(p.first());
+  EXPECT_FALSE(p.last());
+  p.seq = 2;
+  EXPECT_TRUE(p.last());
+}
+
+TEST(Network, OpcodeNames) {
+  EXPECT_STREQ(opcode_name(Opcode::kRdmaWrite), "RDMA_WRITE");
+  EXPECT_STREQ(opcode_name(Opcode::kAck), "ACK");
+  EXPECT_STREQ(opcode_name(Opcode::kTransportAck), "T_ACK");
+}
+
+}  // namespace
+}  // namespace nadfs::net

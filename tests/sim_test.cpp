@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace nadfs::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(ns(30), [&] { order.push_back(3); });
+  s.schedule(ns(10), [&] { order.push_back(1); });
+  s.schedule(ns(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), ns(30));
+}
+
+TEST(Simulator, TieBreaksInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(ns(5), [&] { order.push_back(1); });
+  s.schedule(ns(5), [&] { order.push_back(2); });
+  s.schedule(ns(5), [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int hits = 0;
+  s.schedule(ns(1), [&] {
+    ++hits;
+    s.schedule(ns(1), [&] {
+      ++hits;
+      s.schedule(ns(1), [&] { ++hits; });
+    });
+  });
+  s.run();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(s.now(), ns(3));
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator s;
+  s.schedule(ns(10), [&] { EXPECT_THROW(s.schedule_at(ns(5), [] {}), std::logic_error); });
+  s.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int hits = 0;
+  s.schedule(ns(10), [&] { ++hits; });
+  s.schedule(ns(20), [&] { ++hits; });
+  s.schedule(ns(30), [&] { ++hits; });
+  s.run_until(ns(20));
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.now(), ns(20));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator s;
+  s.schedule(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ExecutedEventCount) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule(ns(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+// ------------------------------------------------------------ FifoServer
+
+TEST(FifoServer, SerializesBackToBack) {
+  Simulator s;
+  FifoServer srv(s, Bandwidth::from_gbps(400.0));  // 20 ps/B
+  const auto w1 = srv.reserve(1000);
+  const auto w2 = srv.reserve(1000);
+  EXPECT_EQ(w1.start, 0u);
+  EXPECT_EQ(w1.end, 20000u);
+  EXPECT_EQ(w2.start, w1.end);
+  EXPECT_EQ(w2.end, 40000u);
+}
+
+TEST(FifoServer, HonorsEarliest) {
+  Simulator s;
+  FifoServer srv(s, Bandwidth::from_gbps(400.0));
+  const auto w = srv.reserve(100, ns(10));
+  EXPECT_EQ(w.start, ns(10));
+}
+
+TEST(FifoServer, GapThenBusy) {
+  Simulator s;
+  FifoServer srv(s, Bandwidth::from_gbps(400.0));
+  const auto w1 = srv.reserve(1000, ns(100));
+  const auto w2 = srv.reserve(1000, ns(50));  // wants earlier but queue is ahead
+  EXPECT_EQ(w2.start, w1.end);
+}
+
+TEST(FifoServer, ReserveTime) {
+  Simulator s;
+  FifoServer srv(s, Bandwidth::from_gbps(1.0));
+  const auto w = srv.reserve_time(ns(7));
+  EXPECT_EQ(w.end - w.start, ns(7));
+}
+
+TEST(FifoServer, TracksTotalBytes) {
+  Simulator s;
+  FifoServer srv(s, Bandwidth::from_gbps(400.0));
+  srv.reserve(10);
+  srv.reserve(20);
+  EXPECT_EQ(srv.total_bytes(), 30u);
+}
+
+// ------------------------------------------------------------ CreditPool
+
+TEST(CreditPool, GrantsImmediatelyWhenAvailable) {
+  Simulator s;
+  CreditPool pool(s, 2);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(CreditPool, QueuesWhenExhausted) {
+  Simulator s;
+  CreditPool pool(s, 1);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.release();
+  s.run();
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(CreditPool, ReleaseWithoutWaitersRestoresCredit) {
+  Simulator s;
+  CreditPool pool(s, 1);
+  pool.acquire([] {});
+  pool.release();
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(CreditPool, FifoGrantOrder) {
+  Simulator s;
+  CreditPool pool(s, 1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  pool.release();
+  s.run();
+  pool.release();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace nadfs::sim

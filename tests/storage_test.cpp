@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "storage/target.hpp"
+
+namespace nadfs::storage {
+namespace {
+
+TEST(Target, WriteReadRoundTrip) {
+  sim::Simulator sim;
+  Target t(sim);
+  Bytes data{1, 2, 3, 4, 5};
+  t.write(100, data);
+  EXPECT_EQ(t.read(100, 5), data);
+}
+
+TEST(Target, UnwrittenReadsZero) {
+  sim::Simulator sim;
+  Target t(sim);
+  EXPECT_EQ(t.read(0, 4), (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Target, CrossPageWrite) {
+  sim::Simulator sim;
+  Target t(sim);
+  Bytes data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  t.write(4000, data);  // spans three 4 KiB pages
+  EXPECT_EQ(t.read(4000, 10000), data);
+  // Neighbouring bytes untouched.
+  EXPECT_EQ(t.read(3999, 1), Bytes{0});
+}
+
+TEST(Target, OverlappingWritesLastWins) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(0, Bytes(8, 0xAA));
+  t.write(4, Bytes(8, 0xBB));
+  const auto got = t.read(0, 12);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], 0xAA);
+  for (int i = 4; i < 12; ++i) EXPECT_EQ(got[i], 0xBB);
+}
+
+TEST(Target, IngestBandwidthTiming) {
+  sim::Simulator sim;
+  TargetConfig cfg;
+  cfg.ingest = Bandwidth::from_gbytes_per_sec(1.0);  // 1000 ps/B
+  Target t(sim, cfg);
+  const TimePs d1 = t.write(0, Bytes(1000, 0));
+  const TimePs d2 = t.write(1000, Bytes(1000, 0));
+  EXPECT_EQ(d1, TimePs{1000 * 1000});
+  EXPECT_EQ(d2, d1 + 1000 * 1000);  // serialized behind the first
+}
+
+TEST(Target, EarliestDelaysDurability) {
+  sim::Simulator sim;
+  Target t(sim);
+  const TimePs d = t.write(0, Bytes(10, 0), us(5));
+  EXPECT_GE(d, us(5));
+}
+
+TEST(Target, CapacityEnforced) {
+  sim::Simulator sim;
+  TargetConfig cfg;
+  cfg.capacity = 1024;
+  Target t(sim, cfg);
+  EXPECT_NO_THROW(t.write(0, Bytes(1024, 1)));
+  EXPECT_THROW(t.write(1, Bytes(1024, 1)), std::out_of_range);
+  EXPECT_THROW(t.read(1020, 8), std::out_of_range);
+}
+
+TEST(Target, BytesWrittenAccounting) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(0, Bytes(100, 0));
+  t.write(0, Bytes(50, 0));
+  EXPECT_EQ(t.bytes_written(), 150u);
+}
+
+}  // namespace
+}  // namespace nadfs::storage

@@ -1,0 +1,98 @@
+// Tests of the handler-execution trace sink and its device integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "pspin/trace.hpp"
+#include "services/client.hpp"
+#include "services/cluster.hpp"
+
+namespace nadfs {
+namespace {
+
+using services::Client;
+using services::Cluster;
+using services::ClusterConfig;
+using services::FilePolicy;
+
+TEST(TraceSink, RecordsAndAggregates) {
+  pspin::TraceSink sink;
+  sink.record({1, 0, 3, spin::HandlerType::kHeader, 7, 0, 120, ns(100), ns(311)});
+  sink.record({1, 0, 4, spin::HandlerType::kPayload, 7, 1, 55, ns(300), ns(392)});
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.busy_time(), ns(211) + ns(92));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, ChromeJsonShape) {
+  pspin::TraceSink sink;
+  sink.record({2, 1, 5, spin::HandlerType::kCompletion, 9, 3, 66, us(1), us(2)});
+  std::ostringstream out;
+  sink.export_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"CH\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1005"), std::string::npos);
+  EXPECT_NE(json.find("\"instr\":66"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceSink, EmptyExportIsValid) {
+  pspin::TraceSink sink;
+  std::ostringstream out;
+  sink.export_chrome_json(out);
+  EXPECT_EQ(out.str(), "{\"traceEvents\":[]}");
+}
+
+TEST(TraceSink, DeviceIntegrationRecordsEveryHandler) {
+  Cluster cluster;
+  Client client(cluster, 0);
+  pspin::TraceSink sink;
+  const auto& layout = cluster.metadata().create("o", 64 * KiB, FilePolicy{});
+  cluster.storage_by_node(layout.targets[0].node).pspin().set_trace(&sink);
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+
+  Rng rng(1);
+  Bytes data(10000);
+  for (auto& b : data) b = rng.next_byte();
+  client.write(layout, cap, data, [](bool, TimePs) {});
+  cluster.sim().run();
+
+  // 10000 B -> 5 packets: 1 HH + 5 PH + 1 CH = 7 handler executions.
+  ASSERT_EQ(sink.size(), 7u);
+  unsigned hh = 0, ph = 0, ch = 0;
+  for (const auto& r : sink.records()) {
+    EXPECT_LT(r.start, r.end);
+    EXPECT_LT(r.cluster, 4u);
+    EXPECT_LT(r.hpu, 8u);
+    switch (r.type) {
+      case spin::HandlerType::kHeader: ++hh; break;
+      case spin::HandlerType::kPayload: ++ph; break;
+      case spin::HandlerType::kCompletion: ++ch; break;
+    }
+  }
+  EXPECT_EQ(hh, 1u);
+  EXPECT_EQ(ph, 5u);
+  EXPECT_EQ(ch, 1u);
+}
+
+TEST(TraceSink, DetachedDeviceRecordsNothing) {
+  Cluster cluster;
+  Client client(cluster, 0);
+  pspin::TraceSink sink;
+  const auto& layout = cluster.metadata().create("o", 8 * KiB, FilePolicy{});
+  auto& node = cluster.storage_by_node(layout.targets[0].node);
+  node.pspin().set_trace(&sink);
+  node.pspin().set_trace(nullptr);  // detach again
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+  client.write(layout, cap, Bytes(1024, 1), [](bool, TimePs) {});
+  cluster.sim().run();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nadfs
