@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_accumulator_pool"
+  "../bench/ablation_accumulator_pool.pdb"
+  "CMakeFiles/ablation_accumulator_pool.dir/ablation_accumulator_pool.cpp.o"
+  "CMakeFiles/ablation_accumulator_pool.dir/ablation_accumulator_pool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulator_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

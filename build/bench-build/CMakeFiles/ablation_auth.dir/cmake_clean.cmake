@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_auth"
+  "../bench/ablation_auth.pdb"
+  "CMakeFiles/ablation_auth.dir/ablation_auth.cpp.o"
+  "CMakeFiles/ablation_auth.dir/ablation_auth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_egress_queue"
+  "../bench/ablation_egress_queue.pdb"
+  "CMakeFiles/ablation_egress_queue.dir/ablation_egress_queue.cpp.o"
+  "CMakeFiles/ablation_egress_queue.dir/ablation_egress_queue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_egress_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

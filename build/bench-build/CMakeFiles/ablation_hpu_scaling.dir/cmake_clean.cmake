@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hpu_scaling"
+  "../bench/ablation_hpu_scaling.pdb"
+  "CMakeFiles/ablation_hpu_scaling.dir/ablation_hpu_scaling.cpp.o"
+  "CMakeFiles/ablation_hpu_scaling.dir/ablation_hpu_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_interleave.cpp" "bench-build/CMakeFiles/ablation_interleave.dir/ablation_interleave.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_interleave.dir/ablation_interleave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/nadfs_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/nadfs_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/nadfs_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/nadfs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/nadfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/nadfs_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/nadfs_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pspin/CMakeFiles/nadfs_pspin.dir/DependInfo.cmake"
+  "/root/repo/build/src/spin/CMakeFiles/nadfs_spin.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nadfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nadfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nadfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nadfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_interleave"
+  "../bench/ablation_interleave.pdb"
+  "CMakeFiles/ablation_interleave.dir/ablation_interleave.cpp.o"
+  "CMakeFiles/ablation_interleave.dir/ablation_interleave.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_nic_memory"
+  "../bench/fig04_nic_memory.pdb"
+  "CMakeFiles/fig04_nic_memory.dir/fig04_nic_memory.cpp.o"
+  "CMakeFiles/fig04_nic_memory.dir/fig04_nic_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nic_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_write_latency"
+  "../bench/fig06_write_latency.pdb"
+  "CMakeFiles/fig06_write_latency.dir/fig06_write_latency.cpp.o"
+  "CMakeFiles/fig06_write_latency.dir/fig06_write_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_write_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_goodput"
+  "../bench/fig09_goodput.pdb"
+  "CMakeFiles/fig09_goodput.dir/fig09_goodput.cpp.o"
+  "CMakeFiles/fig09_goodput.dir/fig09_goodput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_replication_latency"
+  "../bench/fig09_replication_latency.pdb"
+  "CMakeFiles/fig09_replication_latency.dir/fig09_replication_latency.cpp.o"
+  "CMakeFiles/fig09_replication_latency.dir/fig09_replication_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_replication_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

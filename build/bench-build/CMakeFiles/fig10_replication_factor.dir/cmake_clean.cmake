@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_replication_factor"
+  "../bench/fig10_replication_factor.pdb"
+  "CMakeFiles/fig10_replication_factor.dir/fig10_replication_factor.cpp.o"
+  "CMakeFiles/fig10_replication_factor.dir/fig10_replication_factor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_replication_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_handler_runtimes"
+  "../bench/fig11_handler_runtimes.pdb"
+  "CMakeFiles/fig11_handler_runtimes.dir/fig11_handler_runtimes.cpp.o"
+  "CMakeFiles/fig11_handler_runtimes.dir/fig11_handler_runtimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_handler_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_ec_bandwidth"
+  "../bench/fig15_ec_bandwidth.pdb"
+  "CMakeFiles/fig15_ec_bandwidth.dir/fig15_ec_bandwidth.cpp.o"
+  "CMakeFiles/fig15_ec_bandwidth.dir/fig15_ec_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ec_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_ec_latency"
+  "../bench/fig15_ec_latency.pdb"
+  "CMakeFiles/fig15_ec_latency.dir/fig15_ec_latency.cpp.o"
+  "CMakeFiles/fig15_ec_latency.dir/fig15_ec_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ec_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_ec_handlers"
+  "../bench/fig16_ec_handlers.pdb"
+  "CMakeFiles/fig16_ec_handlers.dir/fig16_ec_handlers.cpp.o"
+  "CMakeFiles/fig16_ec_handlers.dir/fig16_ec_handlers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ec_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

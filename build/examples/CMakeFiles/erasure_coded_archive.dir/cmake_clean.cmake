@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_coded_archive.dir/erasure_coded_archive.cpp.o"
+  "CMakeFiles/erasure_coded_archive.dir/erasure_coded_archive.cpp.o.d"
+  "erasure_coded_archive"
+  "erasure_coded_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_coded_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_cleanup.dir/failure_cleanup.cpp.o"
+  "CMakeFiles/failure_cleanup.dir/failure_cleanup.cpp.o.d"
+  "failure_cleanup"
+  "failure_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

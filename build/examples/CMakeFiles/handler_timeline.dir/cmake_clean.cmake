@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handler_timeline.dir/handler_timeline.cpp.o"
+  "CMakeFiles/handler_timeline.dir/handler_timeline.cpp.o.d"
+  "handler_timeline"
+  "handler_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handler_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replicated_kvstore "/root/repo/build/examples/replicated_kvstore")
+set_tests_properties(example_replicated_kvstore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_erasure_coded_archive "/root/repo/build/examples/erasure_coded_archive")
+set_tests_properties(example_erasure_coded_archive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failure_cleanup "/root/repo/build/examples/failure_cleanup")
+set_tests_properties(example_failure_cleanup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_handler_timeline "/root/repo/build/examples/handler_timeline")
+set_tests_properties(example_handler_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_policy "/root/repo/build/examples/custom_policy")
+set_tests_properties(example_custom_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;nadfs_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("ec")
+subdirs("auth")
+subdirs("storage")
+subdirs("host")
+subdirs("rdma")
+subdirs("pspin")
+subdirs("spin")
+subdirs("dfs")
+subdirs("protocols")
+subdirs("services")
+subdirs("analysis")

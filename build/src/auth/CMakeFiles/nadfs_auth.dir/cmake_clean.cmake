@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_auth.dir/capability.cpp.o"
+  "CMakeFiles/nadfs_auth.dir/capability.cpp.o.d"
+  "CMakeFiles/nadfs_auth.dir/siphash.cpp.o"
+  "CMakeFiles/nadfs_auth.dir/siphash.cpp.o.d"
+  "libnadfs_auth.a"
+  "libnadfs_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

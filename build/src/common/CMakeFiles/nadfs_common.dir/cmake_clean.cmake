@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_common.dir/log.cpp.o"
+  "CMakeFiles/nadfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/nadfs_common.dir/units.cpp.o"
+  "CMakeFiles/nadfs_common.dir/units.cpp.o.d"
+  "libnadfs_common.a"
+  "libnadfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

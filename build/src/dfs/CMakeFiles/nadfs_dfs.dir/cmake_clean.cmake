@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_dfs.dir/handlers.cpp.o"
+  "CMakeFiles/nadfs_dfs.dir/handlers.cpp.o.d"
+  "CMakeFiles/nadfs_dfs.dir/wire.cpp.o"
+  "CMakeFiles/nadfs_dfs.dir/wire.cpp.o.d"
+  "libnadfs_dfs.a"
+  "libnadfs_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

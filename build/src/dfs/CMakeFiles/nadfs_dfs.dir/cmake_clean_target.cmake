@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnadfs_dfs.a"
+)

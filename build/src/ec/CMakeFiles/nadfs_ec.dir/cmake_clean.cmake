@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_ec.dir/gf256.cpp.o"
+  "CMakeFiles/nadfs_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/nadfs_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/nadfs_ec.dir/reed_solomon.cpp.o.d"
+  "libnadfs_ec.a"
+  "libnadfs_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

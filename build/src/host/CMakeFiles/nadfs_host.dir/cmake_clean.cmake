@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_host.dir/cpu.cpp.o"
+  "CMakeFiles/nadfs_host.dir/cpu.cpp.o.d"
+  "libnadfs_host.a"
+  "libnadfs_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

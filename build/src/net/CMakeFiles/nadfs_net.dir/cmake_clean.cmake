@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_net.dir/network.cpp.o"
+  "CMakeFiles/nadfs_net.dir/network.cpp.o.d"
+  "libnadfs_net.a"
+  "libnadfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/cpu_repl.cpp" "src/protocols/CMakeFiles/nadfs_protocols.dir/cpu_repl.cpp.o" "gcc" "src/protocols/CMakeFiles/nadfs_protocols.dir/cpu_repl.cpp.o.d"
+  "/root/repo/src/protocols/hyperloop.cpp" "src/protocols/CMakeFiles/nadfs_protocols.dir/hyperloop.cpp.o" "gcc" "src/protocols/CMakeFiles/nadfs_protocols.dir/hyperloop.cpp.o.d"
+  "/root/repo/src/protocols/inec.cpp" "src/protocols/CMakeFiles/nadfs_protocols.dir/inec.cpp.o" "gcc" "src/protocols/CMakeFiles/nadfs_protocols.dir/inec.cpp.o.d"
+  "/root/repo/src/protocols/raw_rdma.cpp" "src/protocols/CMakeFiles/nadfs_protocols.dir/raw_rdma.cpp.o" "gcc" "src/protocols/CMakeFiles/nadfs_protocols.dir/raw_rdma.cpp.o.d"
+  "/root/repo/src/protocols/rpc.cpp" "src/protocols/CMakeFiles/nadfs_protocols.dir/rpc.cpp.o" "gcc" "src/protocols/CMakeFiles/nadfs_protocols.dir/rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/nadfs_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/nadfs_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/nadfs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/nadfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/nadfs_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/nadfs_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pspin/CMakeFiles/nadfs_pspin.dir/DependInfo.cmake"
+  "/root/repo/build/src/spin/CMakeFiles/nadfs_spin.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nadfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nadfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nadfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nadfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

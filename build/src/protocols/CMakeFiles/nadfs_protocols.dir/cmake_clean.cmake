@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_protocols.dir/cpu_repl.cpp.o"
+  "CMakeFiles/nadfs_protocols.dir/cpu_repl.cpp.o.d"
+  "CMakeFiles/nadfs_protocols.dir/hyperloop.cpp.o"
+  "CMakeFiles/nadfs_protocols.dir/hyperloop.cpp.o.d"
+  "CMakeFiles/nadfs_protocols.dir/inec.cpp.o"
+  "CMakeFiles/nadfs_protocols.dir/inec.cpp.o.d"
+  "CMakeFiles/nadfs_protocols.dir/raw_rdma.cpp.o"
+  "CMakeFiles/nadfs_protocols.dir/raw_rdma.cpp.o.d"
+  "CMakeFiles/nadfs_protocols.dir/rpc.cpp.o"
+  "CMakeFiles/nadfs_protocols.dir/rpc.cpp.o.d"
+  "libnadfs_protocols.a"
+  "libnadfs_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

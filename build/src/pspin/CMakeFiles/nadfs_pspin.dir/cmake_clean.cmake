@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_pspin.dir/device.cpp.o"
+  "CMakeFiles/nadfs_pspin.dir/device.cpp.o.d"
+  "CMakeFiles/nadfs_pspin.dir/trace.cpp.o"
+  "CMakeFiles/nadfs_pspin.dir/trace.cpp.o.d"
+  "libnadfs_pspin.a"
+  "libnadfs_pspin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_pspin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

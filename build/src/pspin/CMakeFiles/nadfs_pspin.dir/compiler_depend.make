@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nadfs_pspin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_rdma.dir/nic.cpp.o"
+  "CMakeFiles/nadfs_rdma.dir/nic.cpp.o.d"
+  "libnadfs_rdma.a"
+  "libnadfs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

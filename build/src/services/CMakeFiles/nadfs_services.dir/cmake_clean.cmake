@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_services.dir/client.cpp.o"
+  "CMakeFiles/nadfs_services.dir/client.cpp.o.d"
+  "CMakeFiles/nadfs_services.dir/cluster.cpp.o"
+  "CMakeFiles/nadfs_services.dir/cluster.cpp.o.d"
+  "CMakeFiles/nadfs_services.dir/host_dfs.cpp.o"
+  "CMakeFiles/nadfs_services.dir/host_dfs.cpp.o.d"
+  "CMakeFiles/nadfs_services.dir/metadata.cpp.o"
+  "CMakeFiles/nadfs_services.dir/metadata.cpp.o.d"
+  "CMakeFiles/nadfs_services.dir/metadata_node.cpp.o"
+  "CMakeFiles/nadfs_services.dir/metadata_node.cpp.o.d"
+  "CMakeFiles/nadfs_services.dir/recovery.cpp.o"
+  "CMakeFiles/nadfs_services.dir/recovery.cpp.o.d"
+  "libnadfs_services.a"
+  "libnadfs_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

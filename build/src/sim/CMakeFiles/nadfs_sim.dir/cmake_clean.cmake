@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nadfs_sim.dir/simulator.cpp.o.d"
+  "libnadfs_sim.a"
+  "libnadfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

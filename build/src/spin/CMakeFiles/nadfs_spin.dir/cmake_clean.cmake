@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_spin.dir/handler.cpp.o"
+  "CMakeFiles/nadfs_spin.dir/handler.cpp.o.d"
+  "libnadfs_spin.a"
+  "libnadfs_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadfs_storage.dir/target.cpp.o"
+  "CMakeFiles/nadfs_storage.dir/target.cpp.o.d"
+  "libnadfs_storage.a"
+  "libnadfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_handlers.dir/dfs_handlers_test.cpp.o"
+  "CMakeFiles/test_dfs_handlers.dir/dfs_handlers_test.cpp.o.d"
+  "test_dfs_handlers"
+  "test_dfs_handlers.pdb"
+  "test_dfs_handlers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

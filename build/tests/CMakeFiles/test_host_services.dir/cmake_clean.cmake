@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_services.dir/host_services_test.cpp.o"
+  "CMakeFiles/test_host_services.dir/host_services_test.cpp.o.d"
+  "test_host_services"
+  "test_host_services.pdb"
+  "test_host_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

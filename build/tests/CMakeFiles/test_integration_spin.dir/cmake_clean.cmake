@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_spin.dir/integration_spin_test.cpp.o"
+  "CMakeFiles/test_integration_spin.dir/integration_spin_test.cpp.o.d"
+  "test_integration_spin"
+  "test_integration_spin.pdb"
+  "test_integration_spin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_node.dir/metadata_node_test.cpp.o"
+  "CMakeFiles/test_metadata_node.dir/metadata_node_test.cpp.o.d"
+  "test_metadata_node"
+  "test_metadata_node.pdb"
+  "test_metadata_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pspin.dir/pspin_test.cpp.o"
+  "CMakeFiles/test_pspin.dir/pspin_test.cpp.o.d"
+  "test_pspin"
+  "test_pspin.pdb"
+  "test_pspin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pspin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_ctx.dir/spin_ctx_test.cpp.o"
+  "CMakeFiles/test_spin_ctx.dir/spin_ctx_test.cpp.o.d"
+  "test_spin_ctx"
+  "test_spin_ctx.pdb"
+  "test_spin_ctx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

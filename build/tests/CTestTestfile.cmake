@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_auth[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_spin[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_dfs[1]_include.cmake")
+include("/root/repo/build/tests/test_pspin[1]_include.cmake")
+include("/root/repo/build/tests/test_rdma[1]_include.cmake")
+include("/root/repo/build/tests/test_host_services[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_steering[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_striping[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_dfs_handlers[1]_include.cmake")
+include("/root/repo/build/tests/test_metadata_node[1]_include.cmake")
+include("/root/repo/build/tests/test_spin_ctx[1]_include.cmake")
