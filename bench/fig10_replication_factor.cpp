@@ -1,5 +1,10 @@
 // Fig. 10 — Write latency vs replication factor k for small (4 KiB) and
 // large (512 KiB) writes, all replication strategies.
+//
+// Each (size, k) sweep point builds its own clusters — including the full
+// chunk-size sub-sweeps — so the points run in parallel on the SweepRunner
+// pool; rows come back in sweep order and print identically to a serial
+// run.
 #include "bench/harness.hpp"
 #include "protocols/cpu_repl.hpp"
 #include "protocols/hyperloop.hpp"
@@ -18,57 +23,69 @@ FilePolicy repl(dfs::ReplStrategy strategy, std::uint8_t k) {
   return p;
 }
 
-void run_panel(std::size_t size) {
+struct Row {
+  std::size_t size = 0;
+  std::uint8_t k = 0;
+  Measurement cpu_ring, cpu_pbt, flat, hyperloop, spin_ring, spin_pbt;
+};
+
+Row measure_point(std::size_t size, std::uint8_t k) {
+  ClusterConfig host_cfg;
+  host_cfg.storage_nodes = k;
+  host_cfg.install_dfs = false;
+  ClusterConfig spin_cfg;
+  spin_cfg.storage_nodes = k;
+  const auto chunks = default_chunk_sweep();
+
+  Row r;
+  r.size = size;
+  r.k = k;
+  r.cpu_ring = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) {
+          return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
+        };
+      },
+      chunks);
+  r.cpu_pbt = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) {
+          return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kPbt, chunk);
+        };
+      },
+      chunks);
+  r.flat = measure_write(host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+                         [](Cluster& c) { return std::make_unique<protocols::RdmaFlat>(c); });
+  r.hyperloop = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) { return std::make_unique<protocols::HyperLoop>(c, chunk); };
+      },
+      chunks);
+  r.spin_ring = measure_write(spin_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+                              [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
+  r.spin_pbt = measure_write(spin_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
+                             [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
+  return r;
+}
+
+void print_panel(std::size_t size, const std::vector<Row>& rows, SweepReport& report) {
   std::printf("\n--- write size = %s ---\n", format_size(size).c_str());
   std::printf("%4s %12s %12s %12s %12s %12s %12s\n", "k", "CPU-Ring", "CPU-PBT", "RDMA-Flat",
               "HyperLoop", "sPIN-Ring", "sPIN-PBT");
-  const auto chunks = default_chunk_sweep();
-
-  for (const std::uint8_t k : {std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{4},
-                               std::uint8_t{6}, std::uint8_t{8}}) {
-    ClusterConfig host_cfg;
-    host_cfg.storage_nodes = k;
-    host_cfg.install_dfs = false;
-    ClusterConfig spin_cfg;
-    spin_cfg.storage_nodes = k;
-
-    const auto cpu_ring = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) {
-            return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
-          };
-        },
-        chunks);
-    const auto cpu_pbt = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) {
-            return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kPbt, chunk);
-          };
-        },
-        chunks);
-    const auto flat = measure_write(host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-                                    [](Cluster& c) { return std::make_unique<protocols::RdmaFlat>(c); });
-    const auto hyperloop = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) { return std::make_unique<protocols::HyperLoop>(c, chunk); };
-        },
-        chunks);
-    const auto spin_ring =
-        measure_write(spin_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-                      [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
-    const auto spin_pbt =
-        measure_write(spin_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
-                      [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
-
-    std::printf("%4u %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns\n", k,
-                cpu_ring.latency_ns, cpu_pbt.latency_ns, flat.latency_ns, hyperloop.latency_ns,
-                spin_ring.latency_ns, spin_pbt.latency_ns);
-    std::printf("CSV:fig10_%zu,%u,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", size, k, cpu_ring.latency_ns,
-                cpu_pbt.latency_ns, flat.latency_ns, hyperloop.latency_ns, spin_ring.latency_ns,
-                spin_pbt.latency_ns);
+  char csv[200];
+  for (const Row& r : rows) {
+    if (r.size != size) continue;
+    std::printf("%4u %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns\n", r.k,
+                r.cpu_ring.latency_ns, r.cpu_pbt.latency_ns, r.flat.latency_ns,
+                r.hyperloop.latency_ns, r.spin_ring.latency_ns, r.spin_pbt.latency_ns);
+    std::snprintf(csv, sizeof(csv), "fig10_%zu,%u,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f", r.size, r.k,
+                  r.cpu_ring.latency_ns, r.cpu_pbt.latency_ns, r.flat.latency_ns,
+                  r.hyperloop.latency_ns, r.spin_ring.latency_ns, r.spin_pbt.latency_ns);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
 }
 
@@ -76,11 +93,26 @@ void run_panel(std::size_t size) {
 
 int main() {
   print_header("Write latency vs replication factor", "Fig. 10 of the paper");
-  run_panel(4 * KiB);
-  run_panel(512 * KiB);
+
+  const std::vector<std::size_t> sizes = {4 * KiB, 512 * KiB};
+  const std::vector<std::uint8_t> ks = {2, 3, 4, 6, 8};
+
+  SweepReport report("fig10_replication_factor");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  for (const std::size_t size : sizes) {
+    for (const std::uint8_t k : ks) {
+      points.push_back([size, k] { return measure_point(size, k); });
+    }
+  }
+  const auto rows = runner.run(points);
+
+  for (const std::size_t size : sizes) print_panel(size, rows, report);
+
   std::printf("\nExpected shape: small writes — RDMA-Flat flat-out wins at any k (no\n"
               "validation, negligible injection cost); large writes — Flat grows\n"
               "linearly with k while sPIN strategies stay nearly flat; PBT beats\n"
               "Ring for small writes at large k (log-depth vs linear-depth tree).\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI-style gate: configure with warnings-as-errors, build everything, run
+# the full ctest suite. Set CHECK_SANITIZE=1 for an ASan/UBSan build
+# (separate build tree so it never pollutes the fast one).
+#
+#   scripts/check.sh                 # RelWithDebInfo, -Werror, ctest
+#   CHECK_SANITIZE=1 scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-check
+SANITIZE=OFF
+if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
+  BUILD_DIR=build-asan
+  SANITIZE=ON
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNADFS_WERROR=ON \
+  -DNADFS_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

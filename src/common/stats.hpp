@@ -39,7 +39,10 @@ class Summary {
   double max() const { return percentile(100.0); }
   double median() const { return percentile(50.0); }
 
-  /// Nearest-rank percentile, p in [0, 100].
+  /// Linearly interpolated percentile (inclusive / numpy-default flavour:
+  /// rank = p/100 * (n-1), fractional ranks blend the two neighbouring
+  /// order statistics), p in [0, 100]. This is the documented behaviour the
+  /// bench output relies on — pinned in tests/common_test.cpp.
   double percentile(double p) const {
     if (samples_.empty()) return 0.0;
     sort();

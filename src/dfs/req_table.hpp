@@ -22,23 +22,34 @@ class ReqTable {
 
   /// Allocate a descriptor slot; nullopt when the table is exhausted.
   std::optional<std::uint32_t> alloc() {
+    std::uint32_t slot;
     if (free_.empty()) {
       if (next_ >= capacity_) {
         ++denials_;
         return std::nullopt;
       }
-      ++in_use_;
-      high_water_ = std::max(high_water_, in_use_);
-      return static_cast<std::uint32_t>(next_++);
+      slot = static_cast<std::uint32_t>(next_++);
+      live_.push_back(true);
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+      live_[slot] = true;
     }
-    const std::uint32_t slot = free_.back();
-    free_.pop_back();
     ++in_use_;
     high_water_ = std::max(high_water_, in_use_);
     return slot;
   }
 
+  /// Releasing a slot that is not currently allocated (double release or a
+  /// never-issued id) is ignored and counted: pushing it onto the free list
+  /// twice would hand the same descriptor to two writes and underflow
+  /// in_use_, wrecking high_water_.
   void release(std::uint32_t slot) {
+    if (slot >= live_.size() || !live_[slot]) {
+      ++bad_releases_;
+      return;
+    }
+    live_[slot] = false;
     free_.push_back(slot);
     --in_use_;
   }
@@ -47,6 +58,7 @@ class ReqTable {
   std::size_t in_use() const { return in_use_; }
   std::size_t high_water() const { return high_water_; }
   std::uint64_t denials() const { return denials_; }
+  std::uint64_t bad_releases() const { return bad_releases_; }
 
  private:
   std::size_t capacity_;
@@ -54,7 +66,9 @@ class ReqTable {
   std::size_t in_use_ = 0;
   std::size_t high_water_ = 0;
   std::uint64_t denials_ = 0;
+  std::uint64_t bad_releases_ = 0;
   std::vector<std::uint32_t> free_;
+  std::vector<bool> live_;  ///< indexed by slot id < next_
 };
 
 /// Pool of packet-sized parity accumulators (paper §VI-B.3). Exhaustion
@@ -67,6 +81,14 @@ class AccumulatorPool {
   }
 
   std::optional<std::uint32_t> alloc(std::size_t len) {
+    // An accumulator is one packet buffer: a request for more than
+    // acc_bytes_ would silently blow the pool's capacity math (total_ =
+    // pool_bytes / acc_bytes), so it is denied like exhaustion and the
+    // caller takes the CPU-aggregation fallback.
+    if (len > acc_bytes_) {
+      ++failures_;
+      return std::nullopt;
+    }
     if (free_list_.empty() && next_ >= total_) {
       ++failures_;
       return std::nullopt;
@@ -77,7 +99,9 @@ class AccumulatorPool {
       free_list_.pop_back();
     } else {
       idx = static_cast<std::uint32_t>(next_++);
+      live_.push_back(false);
     }
+    live_[idx] = true;
     buffers_[idx].assign(len, 0);
     ++in_use_;
     high_water_ = std::max(high_water_, in_use_);
@@ -86,7 +110,11 @@ class AccumulatorPool {
 
   Bytes& buffer(std::uint32_t idx) { return buffers_[idx]; }
 
+  /// Double releases are ignored (same free-list/in_use_ corruption as
+  /// ReqTable::release).
   void release(std::uint32_t idx) {
+    if (idx >= live_.size() || !live_[idx]) return;
+    live_[idx] = false;
     buffers_[idx].clear();
     free_list_.push_back(idx);
     --in_use_;
@@ -107,6 +135,7 @@ class AccumulatorPool {
   std::uint64_t failures_ = 0;
   std::vector<Bytes> buffers_;
   std::vector<std::uint32_t> free_list_;
+  std::vector<bool> live_;  ///< indexed by idx < next_
 };
 
 }  // namespace nadfs::dfs

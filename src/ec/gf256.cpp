@@ -1,10 +1,114 @@
 #include "ec/gf256.hpp"
 
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define NADFS_GF256_HAVE_SSSE3 1
+#endif
+
 namespace nadfs::ec {
 
 namespace {
+
 constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+
+// ------------------------------------------------- portable 64-bit kernel
+//
+// Region multiply via the two 16-entry half-byte split tables: each source
+// word is decomposed into nibbles, the per-nibble products are composed
+// back into a 64-bit word, and the result is applied with one 64-bit
+// XOR/store. The 32-byte table pair stays in L1 for the whole region,
+// unlike the 256-byte row of the full mul table.
+
+inline std::uint64_t word_product(const std::uint8_t* lo, const std::uint8_t* hi,
+                                  std::uint64_t w) {
+  std::uint64_t prod = 0;
+  for (unsigned lane = 0; lane < 64; lane += 8) {
+    const auto b = static_cast<std::uint8_t>(w >> lane);
+    prod |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(lo[b & 0xF] ^ hi[b >> 4]))
+            << lane;
+  }
+  return prod;
 }
+
+void mul_add_word64(const std::uint8_t* lo, const std::uint8_t* hi, std::uint8_t* dst,
+                    const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w, d;
+    std::memcpy(&w, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= word_product(lo, hi, w);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ lo[src[i] & 0xF] ^ hi[src[i] >> 4]);
+  }
+}
+
+void mul_into_word64(const std::uint8_t* lo, const std::uint8_t* hi, std::uint8_t* dst,
+                     const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, src + i, 8);
+    const std::uint64_t p = word_product(lo, hi, w);
+    std::memcpy(dst + i, &p, 8);
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(lo[src[i] & 0xF] ^ hi[src[i] >> 4]);
+  }
+}
+
+// ------------------------------------------------------- SSSE3 kernel
+//
+// The ISA-L scheme: both split tables fit in one xmm register each, and
+// pshufb performs 16 nibble lookups per instruction. Compiled with a
+// per-function target attribute so the rest of the build keeps the default
+// architecture flags; only entered when cpuid reports SSSE3.
+
+#ifdef NADFS_GF256_HAVE_SSSE3
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(const std::uint8_t* lo,
+                                                    const std::uint8_t* hi, std::uint8_t* dst,
+                                                    const std::uint8_t* src, std::size_t n) {
+  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo));
+  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_and_si128(v, mask);
+    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  mul_add_word64(lo, hi, dst + i, src + i, n - i);
+}
+
+__attribute__((target("ssse3"))) void mul_into_ssse3(const std::uint8_t* lo,
+                                                     const std::uint8_t* hi, std::uint8_t* dst,
+                                                     const std::uint8_t* src, std::size_t n) {
+  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo));
+  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_and_si128(v, mask);
+    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
+  }
+  mul_into_word64(lo, hi, dst + i, src + i, n - i);
+}
+
+#endif  // NADFS_GF256_HAVE_SSSE3
+
+}  // namespace
 
 Gf256::Gf256() {
   // Build exp/log tables from the generator 2 (primitive for 0x11D).
@@ -31,11 +135,67 @@ Gf256::Gf256() {
   for (unsigned a = 1; a < 256; ++a) {
     inv_[a] = exp_[(255 - log_[a]) % 255];
   }
+
+  // Half-byte split tables for every coefficient, derived from the full
+  // table so they are bit-exact with it by construction.
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned n = 0; n < 16; ++n) {
+      split_lo_[c][n] = mul_[c][n];
+      split_hi_[c][n] = mul_[c][n << 4];
+    }
+  }
+
+  kernel_ = Kernel::kWord64;
+#ifdef NADFS_GF256_HAVE_SSSE3
+  if (__builtin_cpu_supports("ssse3")) kernel_ = Kernel::kSsse3;
+#endif
+  // Paranoia pays once at startup: if the selected word kernel disagrees
+  // with the scalar table path on a probe sweep, run scalar forever.
+  if (!kernel_matches_scalar()) kernel_ = Kernel::kScalar;
+}
+
+bool Gf256::kernel_matches_scalar() const {
+  // Probe lengths straddle the 16-byte vector width and the 8-byte word
+  // width, including ragged tails; coefficients cover the identity, the
+  // generator, the reduction constant, and a spread of arbitrary values.
+  constexpr std::size_t kMax = 70;
+  std::uint8_t src[kMax], word_dst[kMax], scalar_dst[kMax];
+  std::uint32_t lcg = 0x12345678;
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                                std::size_t{15}, std::size_t{16}, std::size_t{33},
+                                std::size_t{64}, kMax}) {
+    for (const std::uint8_t coeff : {0x00, 0x01, 0x02, 0x1D, 0x53, 0x8E, 0xFF}) {
+      for (std::size_t i = 0; i < len; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        src[i] = static_cast<std::uint8_t>(lcg >> 24);
+        word_dst[i] = scalar_dst[i] = static_cast<std::uint8_t>(lcg >> 16);
+      }
+      mul_add({word_dst, len}, {src, len}, coeff);
+      mul_add_scalar({scalar_dst, len}, {src, len}, coeff);
+      if (std::memcmp(word_dst, scalar_dst, len) != 0) return false;
+      mul_into({word_dst, len}, {src, len}, coeff);
+      mul_into_scalar({scalar_dst, len}, {src, len}, coeff);
+      if (std::memcmp(word_dst, scalar_dst, len) != 0) return false;
+    }
+  }
+  return true;
 }
 
 const Gf256& Gf256::instance() {
   static const Gf256 gf;
   return gf;
+}
+
+const char* Gf256::kernel_name() const {
+  switch (kernel_) {
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kWord64:
+      return "word64";
+    case Kernel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
 }
 
 std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
@@ -45,6 +205,40 @@ std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
 }
 
 void Gf256::mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+  const std::size_t n = std::min(dst.size(), src.size());
+  switch (kernel_) {
+#ifdef NADFS_GF256_HAVE_SSSE3
+    case Kernel::kSsse3:
+      mul_add_ssse3(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
+      return;
+#endif
+    case Kernel::kWord64:
+      mul_add_word64(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
+      return;
+    default:
+      mul_add_scalar(dst, src, coeff);
+      return;
+  }
+}
+
+void Gf256::mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+  const std::size_t n = std::min(dst.size(), src.size());
+  switch (kernel_) {
+#ifdef NADFS_GF256_HAVE_SSSE3
+    case Kernel::kSsse3:
+      mul_into_ssse3(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
+      return;
+#endif
+    case Kernel::kWord64:
+      mul_into_word64(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
+      return;
+    default:
+      mul_into_scalar(dst, src, coeff);
+      return;
+  }
+}
+
+void Gf256::mul_add_scalar(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
   const auto& row = mul_[coeff];
   const std::size_t n = std::min(dst.size(), src.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -52,7 +246,7 @@ void Gf256::mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
   }
 }
 
-void Gf256::mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+void Gf256::mul_into_scalar(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
   const auto& row = mul_[coeff];
   const std::size_t n = std::min(dst.size(), src.size());
   for (std::size_t i = 0; i < n; ++i) {

@@ -4,6 +4,15 @@
 // The paper's EC handlers use a 256x256-byte multiplication lookup table
 // copied into NIC memory at DFS-initialization time (§VI-B.2); we build the
 // same table so handler byte loops do exactly one table load per byte.
+//
+// The *simulated* handler cost model charges exactly that byte-loop
+// (DESIGN.md §3, Table II), but the host running the simulation does not
+// have to execute it: region operations (`mul_add`/`mul_into`) dispatch at
+// runtime to a word-wide kernel built from two 16-entry half-byte split
+// tables (ISA-L-style) — SSSE3 pshufb when the CPU has it, otherwise a
+// portable 64-bit composition — verified bit-exact against the scalar
+// table path at initialization. The scalar path stays available as the
+// cost-model reference and the fallback of last resort.
 #pragma once
 
 #include <array>
@@ -15,6 +24,10 @@ namespace nadfs::ec {
 
 class Gf256 {
  public:
+  /// Which region-kernel `mul_add`/`mul_into` dispatch to (picked once at
+  /// table-build time, after a bit-exactness self-check against kScalar).
+  enum class Kernel { kScalar, kWord64, kSsse3 };
+
   /// Singleton table set (64 KiB mul table + log/exp); immutable after init.
   static const Gf256& instance();
 
@@ -35,21 +48,39 @@ class Gf256 {
   std::uint8_t pow(std::uint8_t a, unsigned e) const;
 
   /// dst[i] ^= coeff * src[i] — the inner loop of RS encoding, shared by the
-  /// host encoder and the sPIN payload handlers.
+  /// host encoder and the sPIN payload handlers. Dispatches to kernel().
   void mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
 
-  /// dst[i] = coeff * src[i].
+  /// dst[i] = coeff * src[i]. Dispatches to kernel().
   void mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
+
+  /// The byte-at-a-time 256x256-table paths the handler cost model charges
+  /// (Table II); kept public so tests and benches can pin word-kernel
+  /// equivalence and measure the speedup.
+  void mul_add_scalar(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
+  void mul_into_scalar(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
+
+  Kernel kernel() const { return kernel_; }
+  const char* kernel_name() const;
 
   /// Size of the on-NIC multiplication table (resident in NIC L2, §VI-B.2).
   static constexpr std::size_t kTableBytes = 256 * 256;
 
  private:
   Gf256();
+  bool kernel_matches_scalar() const;
+
   std::array<std::array<std::uint8_t, 256>, 256> mul_;
   std::array<std::uint8_t, 256> inv_;
   std::array<std::uint8_t, 255> exp_;
   std::array<std::uint8_t, 256> log_;
+  /// Half-byte split tables per coefficient: split_lo_[c][n] = c * n and
+  /// split_hi_[c][n] = c * (n << 4), so c * b = lo[b & 0xF] ^ hi[b >> 4].
+  /// 8 KiB total; both tables for one coefficient live in a single cache
+  /// line pair, so small (packet-sized) regions pay no warm-up.
+  std::array<std::array<std::uint8_t, 16>, 256> split_lo_;
+  std::array<std::array<std::uint8_t, 16>, 256> split_hi_;
+  Kernel kernel_ = Kernel::kScalar;
 };
 
 }  // namespace nadfs::ec

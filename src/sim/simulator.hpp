@@ -6,22 +6,140 @@
 // schedule callbacks; determinism is guaranteed by a monotonically
 // increasing sequence number that breaks ties between same-time events in
 // scheduling order.
+//
+// Hot-path notes: every simulated packet turns into a handful of events, so
+// the queue is the single busiest data structure in the whole repo. Two
+// choices keep it allocation-lean:
+//  - EventFn is a move-only callable with inline storage (kInlineBytes);
+//    typical capture lists (this + a few scalars, or a moved-in Packet
+//    header struct) fit inline and never touch the heap. Oversized
+//    callables transparently fall back to a heap allocation.
+//  - The priority queue is a binary min-heap owned by Simulator directly
+//    (reserved up front, hole-based sift instead of element swaps), which
+//    lets `step` move the top event out legitimately — the old
+//    std::priority_queue only exposed a const reference to top(), forcing
+//    an ugly cast to move from it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace nadfs::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only type-erased `void()` callable with small-buffer optimization.
+/// Replaces std::function on the event hot path: scheduling an event whose
+/// capture state fits in kInlineBytes performs zero heap allocations.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ptr_ = new Fn(std::forward<F>(f));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(target()); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Relocate from src storage into dst storage (inline case only; heap
+    /// callables move by stealing the pointer and never relocate).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        false,
+    };
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        nullptr,
+        [](void* p) noexcept { delete static_cast<Fn*>(p); },
+        true,
+    };
+    return &vt;
+  }
+
+  void* target() { return vt_ && vt_->heap ? ptr_ : static_cast<void*>(storage_); }
+
+  void move_from(EventFn& other) noexcept {
+    vt_ = other.vt_;
+    if (!vt_) return;
+    if (vt_->heap) {
+      ptr_ = other.ptr_;
+    } else {
+      vt_->relocate(storage_, other.storage_);
+    }
+    other.vt_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(target());
+      vt_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    void* ptr_;
+  };
+  const VTable* vt_ = nullptr;
+};
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { heap_.reserve(kInitialCapacity); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -44,26 +162,32 @@ class Simulator {
   /// Execute a single event. Returns false if the queue was empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
+  static constexpr std::size_t kInitialCapacity = 256;
+
   struct Event {
     TimePs when;
     std::uint64_t seq;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// Min-heap order: earliest time first, scheduling order among ties.
+  static bool before(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t hole, Event ev);
+  /// Remove and return the top event, restoring the heap invariant.
+  Event pop_top();
 
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace nadfs::sim

@@ -161,6 +161,31 @@ TEST(Summary, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
 }
 
+TEST(Summary, PercentilePinnedOnKnownVectors) {
+  // percentile() is *documented* as linear interpolation (inclusive,
+  // rank = p/100 * (n-1)); pin p0/p50/p99/p100 on known vectors so the
+  // bench-output semantics cannot silently drift to nearest-rank.
+  Summary s;
+  for (int v = 1; v <= 10; ++v) s.add(static_cast<double>(v));  // 1..10
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.5);              // midway 5 and 6
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 9.91);             // rank 8.91
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 3.25);             // rank 2.25
+
+  Summary single;
+  single.add(42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(99.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100.0), 42.0);
+
+  Summary pair;
+  pair.add(100.0);
+  pair.add(200.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(99.0), 199.0);  // rank 0.99
+}
+
 TEST(Summary, EmptyIsZero) {
   Summary s;
   EXPECT_TRUE(s.empty());

@@ -273,6 +273,36 @@ TEST(ReqTable, AllocReleaseRecycles) {
   EXPECT_EQ(*c, *a);  // slot recycled
 }
 
+TEST(ReqTable, DoubleReleaseIsIgnored) {
+  // Regression: a second release of the same slot used to push it onto the
+  // free list twice (the same descriptor handed to two writes) and
+  // underflow in_use_ (a size_t), wrecking high_water_.
+  ReqTable table(77 * 2);
+  auto a = table.alloc();
+  auto b = table.alloc();
+  ASSERT_TRUE(a && b);
+  table.release(*a);
+  EXPECT_EQ(table.in_use(), 1u);
+  table.release(*a);  // double release: ignored + counted
+  EXPECT_EQ(table.in_use(), 1u);
+  EXPECT_EQ(table.bad_releases(), 1u);
+  // The freed slot is handed out exactly once.
+  auto c = table.alloc();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a);
+  EXPECT_FALSE(table.alloc().has_value());
+  EXPECT_EQ(table.in_use(), 2u);
+  EXPECT_EQ(table.high_water(), 2u);
+}
+
+TEST(ReqTable, ReleaseOfNeverIssuedSlotIsIgnored) {
+  ReqTable table(77 * 4);
+  (void)table.alloc();
+  table.release(99);  // never allocated
+  EXPECT_EQ(table.in_use(), 1u);
+  EXPECT_EQ(table.bad_releases(), 1u);
+}
+
 TEST(ReqTable, HighWaterTracksPeak) {
   ReqTable table(77 * 8);
   std::vector<std::uint32_t> slots;
@@ -311,6 +341,33 @@ TEST(AccumulatorPool, BuffersZeroedOnAlloc) {
   auto b = pool.alloc(64);
   EXPECT_EQ(*a, *b);  // recycled
   EXPECT_EQ(pool.buffer(*b)[5], 0);
+}
+
+TEST(AccumulatorPool, OversizeAllocationIsDenied) {
+  // Regression: alloc(len) with len > acc_bytes_ used to hand out a buffer
+  // larger than the per-accumulator budget the pool's capacity math
+  // (total_ = pool_bytes / acc_bytes) assumes. It must count as a failure
+  // so the handler takes the CPU-aggregation fallback.
+  AccumulatorPool pool(4096, 2048);
+  EXPECT_FALSE(pool.alloc(2049).has_value());
+  EXPECT_EQ(pool.failures(), 1u);
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Exactly acc_bytes is fine.
+  EXPECT_TRUE(pool.alloc(2048).has_value());
+}
+
+TEST(AccumulatorPool, DoubleReleaseIsIgnored) {
+  AccumulatorPool pool(4096, 2048);
+  auto a = pool.alloc(64);
+  auto b = pool.alloc(64);
+  ASSERT_TRUE(a && b);
+  pool.release(*a);
+  pool.release(*a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  auto c = pool.alloc(64);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a);
+  EXPECT_FALSE(pool.alloc(64).has_value());  // pool genuinely full again
 }
 
 TEST(AccumulatorPool, ZeroByteAccumulatorPoolIsEmpty) {

@@ -135,6 +135,65 @@ TEST(Gf256, MulAddVector) {
   EXPECT_EQ(dst, expect);
 }
 
+TEST(Gf256, WordKernelMatchesScalarOnRandomLengths) {
+  // The region kernels (mul_add/mul_into) may run word-wide (ssse3/word64)
+  // while the cost model charges the scalar table loop; they must be
+  // bit-exact. Sweep lengths across the 8-byte-word and 16-byte-vector
+  // boundaries, including ragged non-multiple-of-8 tails.
+  const auto& gf = Gf256::instance();
+  Rng rng(42);
+  std::vector<std::size_t> lengths = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+                                      100, 1000, 2048, 2048 + 5};
+  for (int i = 0; i < 30; ++i) lengths.push_back(rng.next_range(1, 5000));
+
+  for (const std::size_t len : lengths) {
+    const auto coeff = rng.next_byte();
+    Bytes src(len), word_dst(len), scalar_dst(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      src[j] = rng.next_byte();
+      word_dst[j] = scalar_dst[j] = rng.next_byte();
+    }
+    gf.mul_add(word_dst, src, coeff);
+    gf.mul_add_scalar(scalar_dst, src, coeff);
+    ASSERT_EQ(word_dst, scalar_dst) << "mul_add len=" << len << " coeff=" << unsigned(coeff)
+                                    << " kernel=" << gf.kernel_name();
+    gf.mul_into(word_dst, src, coeff);
+    gf.mul_into_scalar(scalar_dst, src, coeff);
+    ASSERT_EQ(word_dst, scalar_dst) << "mul_into len=" << len << " coeff=" << unsigned(coeff)
+                                    << " kernel=" << gf.kernel_name();
+  }
+}
+
+TEST(Gf256, WordKernelAllCoefficients) {
+  // Every coefficient (split-table row) against the scalar path on a span
+  // that exercises both the vector body and a ragged tail.
+  const auto& gf = Gf256::instance();
+  Rng rng(43);
+  Bytes src(67);
+  for (auto& b : src) b = rng.next_byte();
+  for (unsigned c = 0; c < 256; ++c) {
+    Bytes word_dst(src.size()), scalar_dst(src.size());
+    for (std::size_t j = 0; j < src.size(); ++j) {
+      word_dst[j] = scalar_dst[j] = rng.next_byte();
+    }
+    const auto coeff = static_cast<std::uint8_t>(c);
+    gf.mul_add(word_dst, src, coeff);
+    gf.mul_add_scalar(scalar_dst, src, coeff);
+    ASSERT_EQ(word_dst, scalar_dst) << "coeff=" << c;
+  }
+}
+
+TEST(Gf256, MulAddHonorsShorterSpan) {
+  // Region ops clamp to min(dst, src) regardless of kernel.
+  const auto& gf = Gf256::instance();
+  Bytes src(32, 0xAB);
+  Bytes dst(20, 0x01);
+  Bytes expect = dst;
+  gf.mul_add_scalar(expect, ByteSpan(src).first(20), 0x37);
+  gf.mul_add(dst, src, 0x37);
+  EXPECT_EQ(dst, expect);
+}
+
 // ----------------------------------------------------------- ReedSolomon
 
 TEST(ReedSolomon, RejectsBadParameters) {

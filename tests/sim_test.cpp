@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/resource.hpp"
@@ -33,6 +38,81 @@ TEST(Simulator, TieBreaksInSchedulingOrder) {
   s.schedule(ns(5), [&] { order.push_back(3); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TieBreaksAcrossInterleavedTimes) {
+  // Determinism regression for the heap rewrite: same-time events fire in
+  // scheduling order even when insertions interleave many distinct times
+  // in non-monotonic order.
+  Simulator s;
+  std::vector<std::pair<TimePs, int>> fired;
+  int id = 0;
+  for (const TimePs t : {ns(30), ns(10), ns(30), ns(20), ns(10), ns(30), ns(20), ns(10)}) {
+    const int my_id = id++;
+    s.schedule(t, [&fired, t, my_id] { fired.emplace_back(t, my_id); });
+  }
+  s.run();
+  const std::vector<std::pair<TimePs, int>> expect = {
+      {ns(10), 1}, {ns(10), 4}, {ns(10), 7}, {ns(20), 3},
+      {ns(20), 6}, {ns(30), 0}, {ns(30), 2}, {ns(30), 5}};
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Simulator, TiesScheduledFromCallbacksRunAfterEarlierTies) {
+  // An event scheduled *during* execution for the current time runs after
+  // all previously scheduled events at that time (its seq is larger).
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(ns(5), [&] {
+    order.push_back(0);
+    s.schedule(0, [&] { order.push_back(3); });
+  });
+  s.schedule(ns(5), [&] { order.push_back(1); });
+  s.schedule(ns(5), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, RandomizedScheduleExecutesInTimeThenSeqOrder) {
+  // Pseudo-random times, verified against a reference sort on
+  // (time, insertion index) — the exact contract components rely on.
+  Simulator s;
+  std::vector<std::pair<TimePs, int>> fired;
+  std::vector<std::pair<TimePs, int>> expect;
+  std::uint32_t lcg = 12345;
+  for (int i = 0; i < 500; ++i) {
+    lcg = lcg * 1664525u + 1013904223u;
+    const auto t = static_cast<TimePs>(lcg % 64);  // few distinct times: many ties
+    expect.emplace_back(t, i);
+    s.schedule(t, [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.run();
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(s.executed_events(), 500u);
+}
+
+TEST(EventFn, LargeCaptureFallsBackToHeap) {
+  // Captures beyond the inline buffer must still work (heap fallback).
+  Simulator s;
+  std::array<std::uint64_t, 16> big{};  // 128 B > EventFn::kInlineBytes
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i + 1;
+  std::uint64_t sum = 0;
+  s.schedule(ns(1), [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  s.run();
+  EXPECT_EQ(sum, 136u);
+}
+
+TEST(EventFn, MoveOnlyCaptureWorksInline) {
+  Simulator s;
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  s.schedule(ns(1), [p = std::move(p), &got] { got = *p; });
+  s.run();
+  EXPECT_EQ(got, 7);
 }
 
 TEST(Simulator, NestedScheduling) {
