@@ -6,18 +6,13 @@
 // printed as aligned text plus a machine-greppable "CSV:" line.
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench/report.hpp"
 #include "common/rng.hpp"
 #include "protocols/protocol.hpp"
 
@@ -127,119 +122,9 @@ inline GoodputResult measure_goodput(ClusterConfig ccfg, const FilePolicy& polic
   return r;
 }
 
-// ------------------------------------------------------- sweep runner
-
-/// Executes independent sweep points on a thread pool with ordered result
-/// collection. Each point must be self-contained — it builds its own
-/// Cluster/Simulator, so every point is deterministic regardless of which
-/// thread runs it or in what order points complete; results are returned
-/// indexed by point, so parallel output is byte-identical to a serial run.
-///
-/// Thread count: explicit argument > NADFS_BENCH_THREADS env var >
-/// std::thread::hardware_concurrency(). NADFS_BENCH_THREADS=1 forces the
-/// serial path (useful for A/B-ing output equivalence).
-class SweepRunner {
- public:
-  explicit SweepRunner(unsigned threads = 0) {
-    if (threads == 0) {
-      if (const char* env = std::getenv("NADFS_BENCH_THREADS")) {
-        threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-      }
-    }
-    if (threads == 0) threads = std::thread::hardware_concurrency();
-    threads_ = threads ? threads : 1;
-  }
-
-  unsigned threads() const { return threads_; }
-
-  template <typename R>
-  std::vector<R> run(const std::vector<std::function<R()>>& points) {
-    std::vector<R> results(points.size());
-    const auto workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, points.size()));
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < points.size(); ++i) results[i] = points[i]();
-      return results;
-    }
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mu;
-    auto work = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= points.size()) return;
-        try {
-          results[i] = points[i]();
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!error) error = std::current_exception();
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
-    return results;
-  }
-
- private:
-  unsigned threads_ = 1;
-};
-
-/// Wall-clock accounting for one bench binary plus a machine-readable
-/// summary written to BENCH_<name>.json in the working directory (the CSV
-/// rows mirror the "CSV:" stdout lines).
-class SweepReport {
- public:
-  explicit SweepReport(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
-
-  void add_csv(std::string line) { csv_.push_back(std::move(line)); }
-
-  double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
-  /// Prints the wall-clock line and writes BENCH_<name>.json.
-  void finish(unsigned threads, std::size_t points) const {
-    const double wall_ms = elapsed_ms();
-    std::printf("\nwall-clock: %.1f ms for %zu sweep points on %u thread%s\n", wall_ms, points,
-                threads, threads == 1 ? "" : "s");
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"threads\": %u,\n  \"points\": %zu,\n",
-                 name_.c_str(), threads, points);
-    std::fprintf(f, "  \"wall_ms\": %.3f,\n  \"rows\": [", wall_ms);
-    for (std::size_t i = 0; i < csv_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\"", i ? "," : "", json_escape(csv_[i]).c_str());
-    }
-    std::fprintf(f, "%s]\n}\n", csv_.empty() ? "" : "\n  ");
-    std::fclose(f);
-    std::printf("JSON: %s\n", path.c_str());
-  }
-
- private:
-  static std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::string name_;
-  std::chrono::steady_clock::time_point start_;
-  std::vector<std::string> csv_;
-};
+// SweepRunner / SweepReport (sweep execution + BENCH_<name>.json output)
+// live in bench/report.hpp so benches that do not build clusters can use
+// them without the protocols headers.
 
 // ------------------------------------------------------------- printing
 

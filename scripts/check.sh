@@ -21,3 +21,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DNADFS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Event-core suites (calendar queue vs retained PR 1 heap oracle, EventFn
+# lifetime coverage) get an explicit focused rerun so a discovery hiccup can
+# never silently skip them — these are the gate for event-order regressions.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'SimQueueDifferential|CalendarQueue|EventFn|Determinism'

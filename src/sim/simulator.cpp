@@ -4,55 +4,22 @@
 
 namespace nadfs::sim {
 
-void Simulator::sift_up(std::size_t hole, Event ev) {
-  while (hole > 0) {
-    const std::size_t parent = (hole - 1) / 2;
-    if (!before(ev, heap_[parent])) break;
-    heap_[hole] = std::move(heap_[parent]);
-    hole = parent;
-  }
-  heap_[hole] = std::move(ev);
-}
-
-Simulator::Event Simulator::pop_top() {
-  Event top = std::move(heap_.front());
-  Event last = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    // Sift `last` down from the root through a hole, moving the smaller
-    // child up each level — one move per level instead of a full swap.
-    const std::size_t n = heap_.size();
-    std::size_t hole = 0;
-    std::size_t child = 1;
-    while (child < n) {
-      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
-      if (!before(heap_[child], last)) break;
-      heap_[hole] = std::move(heap_[child]);
-      hole = child;
-      child = 2 * hole + 1;
-    }
-    heap_[hole] = std::move(last);
-  }
-  return top;
-}
-
 void Simulator::schedule_at(TimePs when, EventFn fn) {
   if (when < now_) {
     throw std::logic_error("Simulator::schedule_at: event scheduled in the past");
   }
-  Event ev{when, next_seq_++, std::move(fn)};
-  heap_.emplace_back();  // placeholder hole; sift_up fills it
-  sift_up(heap_.size() - 1, std::move(ev));
+  queue_.push(when, std::move(fn));
 }
 
 bool Simulator::step() {
-  if (heap_.empty()) return false;
-  // The event is moved out before the heap is re-ordered: the callback may
-  // schedule new events (growing/reordering the heap) while it runs.
-  Event ev = pop_top();
+  if (queue_.empty()) return false;
+  // The event is moved out before any bucket/cursor maintenance runs: the
+  // callback may schedule new events (growing/re-bucketing the calendar)
+  // while it executes.
+  auto ev = queue_.pop();
   now_ = ev.when;
   ++executed_;
-  ev.fn();
+  ev.payload();
   return true;
 }
 
@@ -63,7 +30,8 @@ TimePs Simulator::run() {
 }
 
 TimePs Simulator::run_until(TimePs deadline) {
-  while (!heap_.empty() && heap_.front().when <= deadline) {
+  for (const auto* next = queue_.peek(); next != nullptr && next->when <= deadline;
+       next = queue_.peek()) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -14,11 +14,12 @@
 //    typical capture lists (this + a few scalars, or a moved-in Packet
 //    header struct) fit inline and never touch the heap. Oversized
 //    callables transparently fall back to a heap allocation.
-//  - The priority queue is a binary min-heap owned by Simulator directly
-//    (reserved up front, hole-based sift instead of element swaps), which
-//    lets `step` move the top event out legitimately — the old
-//    std::priority_queue only exposed a const reference to top(), forcing
-//    an ugly cast to move from it.
+//  - The priority queue is a calendar queue (sim/calendar_queue.hpp):
+//    time-bucketed FIFO lanes with a far-future overflow heap, amortized
+//    O(1) per op on the densely populated NIC/link timelines where the
+//    PR 1 binary heap paid O(log n). Tie-breaking is byte-identical to
+//    the heap — strictly ascending (time, seq) — proven by the
+//    differential oracle harness in tests/sim_queue_differential_test.cpp.
 #pragma once
 
 #include <cstddef>
@@ -26,9 +27,9 @@
 #include <new>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "common/units.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace nadfs::sim {
 
@@ -139,7 +140,7 @@ class EventFn {
 
 class Simulator {
  public:
-  Simulator() { heap_.reserve(kInitialCapacity); }
+  Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -149,7 +150,8 @@ class Simulator {
   /// Schedule `fn` to run `delay` after the current time.
   void schedule(TimePs delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
 
-  /// Schedule `fn` at an absolute time (must not be in the past).
+  /// Schedule `fn` at an absolute time. Scheduling in the past is a hard
+  /// error: throws std::logic_error and leaves the queue untouched.
   void schedule_at(TimePs when, EventFn fn);
 
   /// Run until the event queue drains. Returns the final time.
@@ -162,32 +164,16 @@ class Simulator {
   /// Execute a single event. Returns false if the queue was empty.
   bool step();
 
-  std::size_t pending_events() const { return heap_.size(); }
+  std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// The underlying calendar queue (read-only introspection for tests).
+  const CalendarQueue<EventFn>& queue() const { return queue_; }
+
  private:
-  static constexpr std::size_t kInitialCapacity = 256;
-
-  struct Event {
-    TimePs when;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-
-  /// Min-heap order: earliest time first, scheduling order among ties.
-  static bool before(const Event& a, const Event& b) {
-    if (a.when != b.when) return a.when < b.when;
-    return a.seq < b.seq;
-  }
-
-  void sift_up(std::size_t hole, Event ev);
-  /// Remove and return the top event, restoring the heap invariant.
-  Event pop_top();
-
   TimePs now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Event> heap_;
+  CalendarQueue<EventFn> queue_;
 };
 
 }  // namespace nadfs::sim

@@ -79,6 +79,36 @@ TEST(Determinism, SpinPbtK4RunIsReproducible) {
   }
 }
 
+/// FNV-1a over (final_time, executed_events, replica contents) — the full
+/// observable outcome of a run folded into one value.
+std::uint64_t run_digest(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  mix_u64(r.final_time);
+  mix_u64(r.executed_events);
+  for (const auto& replica : r.replicas) {
+    for (const auto b : replica) mix_byte(b);
+  }
+  return h;
+}
+
+TEST(Determinism, SpinPbtK4DigestPinnedAcrossQueueSwap) {
+  // Calendar-queue replay pin: these digests were recorded at commit
+  // bf5d7b8 with the PR 1 binary-heap event core (build/digest_probe run,
+  // 2026-08-07), BEFORE the calendar-queue swap. The swap — and any future
+  // event-core change — must reproduce the heap's schedule byte-for-byte.
+  // If a deliberate timing-model change breaks this, re-record the
+  // constants and say so in the commit message.
+  EXPECT_EQ(run_digest(run_spin_pbt_k4(5 * 2048 + 13, 7)), 0xc0411f89e10c90ccull);
+  EXPECT_EQ(run_digest(run_spin_pbt_k4(64 * KiB, 21)), 0x4fa062e29be13837ull);
+}
+
 TEST(Determinism, LargerPbtWriteIsReproducible) {
   const std::size_t size = 64 * KiB;
   const auto first = run_spin_pbt_k4(size, 21);

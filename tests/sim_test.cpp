@@ -136,6 +136,36 @@ TEST(Simulator, RejectsPastEvents) {
   s.run();
 }
 
+TEST(Simulator, RejectsPastEventsFromTopLevel) {
+  // Scheduling in the past is a hard error outside callbacks too, and the
+  // failed call must leave the queue untouched.
+  Simulator s;
+  s.schedule(ns(10), [] {});
+  s.run();
+  ASSERT_EQ(s.now(), ns(10));
+  EXPECT_THROW(s.schedule_at(ns(9), [] {}), std::logic_error);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.executed_events(), 1u);
+  // The simulator is still fully usable after the rejected call.
+  int hits = 0;
+  s.schedule_at(ns(10), [&] { ++hits; });  // exactly "now" is allowed
+  s.schedule_at(ns(20), [&] { ++hits; });
+  s.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.now(), ns(20));
+}
+
+TEST(Simulator, RejectsPastEventsAfterRunUntilAdvancesClock) {
+  // run_until moves now() forward even with no event at the deadline;
+  // an event before that synthetic now must still be rejected.
+  Simulator s;
+  s.run_until(ns(100));
+  EXPECT_EQ(s.now(), ns(100));
+  EXPECT_THROW(s.schedule_at(ns(99), [] {}), std::logic_error);
+  EXPECT_THROW(s.schedule(TimePs{0} - ns(1), [] {}), std::logic_error);  // delay underflow wraps
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator s;
   int hits = 0;
