@@ -6,6 +6,9 @@
 // forward but multiply per-chunk overheads (notifications, WQE updates);
 // huge chunks serialize the pipeline. sPIN needs no such tuning — its
 // pipeline granularity is the network packet.
+//
+// The sPIN reference and each chunk size run as independent SweepRunner
+// points; rows are mirrored into BENCH_ablation_chunk_size.json.
 #include "bench/harness.hpp"
 #include "protocols/cpu_repl.hpp"
 #include "protocols/hyperloop.hpp"
@@ -23,6 +26,11 @@ FilePolicy ring_policy(std::uint8_t k) {
   return p;
 }
 
+struct Row {
+  std::size_t chunk = 0;
+  Measurement cpu, hl;
+};
+
 }  // namespace
 
 int main() {
@@ -34,29 +42,55 @@ int main() {
   cfg.install_dfs = false;
   const std::size_t write = 512 * KiB;
 
-  std::printf("%12s %14s %14s\n", "chunk", "CPU-Ring", "HyperLoop");
-  double spin_ref = 0;
-  {
+  const std::vector<std::size_t> chunks = {std::size_t{0}, 256 * KiB, 64 * KiB, 16 * KiB,
+                                           8 * KiB,        4 * KiB,   2 * KiB};
+
+  SweepReport report("ablation_chunk_size");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(chunks.size() + 1);
+  // Point 0: the sPIN packet-granularity reference (no chunk tuning).
+  points.push_back([write] {
     ClusterConfig scfg;
     scfg.storage_nodes = 4;
-    spin_ref = measure_write(scfg, ring_policy(4), write, [](Cluster&) {
-                 return std::make_unique<protocols::SpinWrite>();
-               }).latency_ns;
+    Row r;
+    r.cpu = measure_write(scfg, ring_policy(4), write, [](Cluster&) {
+      return std::make_unique<protocols::SpinWrite>();
+    });
+    return r;
+  });
+  for (const std::size_t chunk : chunks) {
+    points.push_back([chunk, cfg, write] {
+      Row r;
+      r.chunk = chunk;
+      r.cpu = measure_write(cfg, ring_policy(4), write, [chunk](Cluster& c) {
+        return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
+      });
+      r.hl = measure_write(cfg, ring_policy(4), write, [chunk](Cluster& c) {
+        return std::make_unique<protocols::HyperLoop>(c, chunk);
+      });
+      return r;
+    });
   }
-  for (const std::size_t chunk :
-       {std::size_t{0}, 256 * KiB, 64 * KiB, 16 * KiB, 8 * KiB, 4 * KiB, 2 * KiB}) {
-    const auto cpu = measure_write(cfg, ring_policy(4), write, [chunk](Cluster& c) {
-      return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
-    });
-    const auto hl = measure_write(cfg, ring_policy(4), write, [chunk](Cluster& c) {
-      return std::make_unique<protocols::HyperLoop>(c, chunk);
-    });
+  const auto rows = runner.run(points);
+  const double spin_ref = rows.front().cpu.latency_ns;
+
+  std::printf("%12s %14s %14s\n", "chunk", "CPU-Ring", "HyperLoop");
+  char csv[96];
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const Row& r = rows[i];
     std::printf("%12s %12.0fns %12.0fns\n",
-                chunk == 0 ? "whole" : format_size(chunk).c_str(), cpu.latency_ns,
-                hl.latency_ns);
-    std::printf("CSV:ablation_chunk,%zu,%.0f,%.0f\n", chunk, cpu.latency_ns, hl.latency_ns);
+                r.chunk == 0 ? "whole" : format_size(r.chunk).c_str(), r.cpu.latency_ns,
+                r.hl.latency_ns);
+    std::snprintf(csv, sizeof csv, "ablation_chunk,%zu,%.0f,%.0f", r.chunk, r.cpu.latency_ns,
+                  r.hl.latency_ns);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\nsPIN-Ring reference (packet-granularity pipeline, no tuning): %.0f ns\n",
               spin_ref);
+  std::snprintf(csv, sizeof csv, "ablation_chunk,spin_ref,%.0f", spin_ref);
+  report.add_csv(csv);
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

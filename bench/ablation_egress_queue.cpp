@@ -6,6 +6,9 @@
 // shows the steady-state stall is set by the 2:1 egress:ingress ratio
 // (Little's law over the saturated port), not by the queue depth itself —
 // depth only shifts where the waiting happens.
+//
+// One SweepRunner point per depth; rows are mirrored into
+// BENCH_ablation_egress_queue.json.
 #include "bench/harness.hpp"
 
 using namespace nadfs;
@@ -14,8 +17,9 @@ using namespace nadfs::bench;
 namespace {
 
 struct Point {
-  double ph_ns;
-  double goodput;
+  unsigned depth = 0;
+  double ph_ns = 0;
+  double goodput = 0;
 };
 
 Point run(unsigned depth) {
@@ -27,7 +31,7 @@ Point run(unsigned depth) {
   policy.strategy = dfs::ReplStrategy::kPbt;
   policy.repl_k = 4;
   const auto r = measure_goodput(cfg, policy, 64 * KiB, 4, 16);
-  return {r.ph_mean_ns, r.gbit_per_s};
+  return {depth, r.ph_mean_ns, r.gbit_per_s};
 }
 
 }  // namespace
@@ -35,13 +39,28 @@ Point run(unsigned depth) {
 int main() {
   print_header("Ablation: egress command-queue depth vs PBT handler stall",
                "the mechanism behind Table I's PBT row");
+
+  const std::vector<unsigned> depths = {2u, 4u, 8u, 16u, 32u, 64u, 256u};
+
+  SweepReport report("ablation_egress_queue");
+  SweepRunner runner;
+  std::vector<std::function<Point()>> points;
+  points.reserve(depths.size());
+  for (const unsigned depth : depths) {
+    points.push_back([depth] { return run(depth); });
+  }
+  const auto rows = runner.run(points);
+
   std::printf("%8s %16s %14s\n", "depth", "PH mean (ns)", "goodput");
-  for (const unsigned depth : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
-    const auto p = run(depth);
-    std::printf("%8u %16.0f %11.1f Gb\n", depth, p.ph_ns, p.goodput);
-    std::printf("CSV:ablation_egress,%u,%.0f,%.2f\n", depth, p.ph_ns, p.goodput);
+  char csv[96];
+  for (const Point& p : rows) {
+    std::printf("%8u %16.0f %11.1f Gb\n", p.depth, p.ph_ns, p.goodput);
+    std::snprintf(csv, sizeof csv, "ablation_egress,%u,%.0f,%.2f", p.depth, p.ph_ns, p.goodput);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\nReading: goodput stays ~half line rate at any depth (egress-bound);\n"
               "PH duration absorbs the queueing wherever the queue bounds it.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

@@ -7,6 +7,9 @@
 // loading the per-cluster L1s). This bench validates that claim on the
 // simulator: EC ingest goodput at a saturated data node as the cluster
 // count grows, against the analytic prediction.
+//
+// One SweepRunner point per cluster count; rows are mirrored into
+// BENCH_ablation_hpu_scaling.json.
 #include "analysis/models.hpp"
 #include "bench/harness.hpp"
 
@@ -28,6 +31,11 @@ double ec_goodput_gbps(unsigned clusters) {
   return measure_goodput(cfg, policy, 384 * KiB, 6, 12).gbit_per_s;
 }
 
+struct Row {
+  unsigned clusters = 0;
+  double measured = 0;
+};
+
 }  // namespace
 
 int main() {
@@ -38,19 +46,34 @@ int main() {
   std::printf("analytic: RS(6,3) PH ~22.3 us -> %u HPUs for 400 Gbit/s\n\n",
               budget.hpus_needed(Bandwidth::from_gbps(400.0), ns(22286)));
 
+  const std::vector<unsigned> cluster_counts = {4u, 8u, 16u, 32u, 64u};
+
+  SweepReport report("ablation_hpu_scaling");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(cluster_counts.size());
+  for (const unsigned clusters : cluster_counts) {
+    points.push_back([clusters] { return Row{clusters, ec_goodput_gbps(clusters)}; });
+  }
+  const auto rows = runner.run(points);
+
   std::printf("%10s %8s %18s %22s\n", "clusters", "HPUs", "node-0 goodput",
               "analytic capacity*");
-  for (const unsigned clusters : {4u, 8u, 16u, 32u, 64u}) {
-    const unsigned hpus = clusters * 8;
-    const double measured = ec_goodput_gbps(clusters);
+  char csv[96];
+  for (const Row& r : rows) {
+    const unsigned hpus = r.clusters * 8;
     // Capacity = HPUs * packet_bits / PH duration.
     const double analytic = static_cast<double>(hpus) * 2048.0 * 8.0 / (22286e-9) / 1e9;
-    std::printf("%10u %8u %15.1f Gb %19.1f Gb\n", clusters, hpus, measured, analytic);
-    std::printf("CSV:ablation_hpus,%u,%u,%.2f,%.2f\n", clusters, hpus, measured, analytic);
+    std::printf("%10u %8u %15.1f Gb %19.1f Gb\n", r.clusters, hpus, r.measured, analytic);
+    std::snprintf(csv, sizeof csv, "ablation_hpus,%u,%u,%.2f,%.2f", r.clusters, hpus, r.measured,
+                  analytic);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\n(* HPUs x 2 KiB / 22.3 us handler, before ingress/egress limits)\n"
               "Reading: goodput tracks the analytic HPU capacity until the network\n"
               "path saturates — adding clusters buys EC line rate, as the paper\n"
               "claims for the 512-HPU configuration.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

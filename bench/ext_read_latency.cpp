@@ -51,24 +51,49 @@ double read_latency_ns(Mode mode, std::size_t size) {
   return latency;
 }
 
+struct Row {
+  std::size_t size = 0;
+  double spin = 0, host = 0, raw = 0;
+};
+
 }  // namespace
 
 int main() {
   print_header("DFS read latency: sPIN-offloaded vs host CPU vs raw RDMA",
                "an extension — the paper defines reads (Fig. 3) but evaluates writes");
+
+  const std::vector<std::size_t> sizes = {std::size_t{512}, 4 * KiB,   16 * KiB,
+                                          64 * KiB,          256 * KiB, 1 * MiB};
+
+  SweepReport report("ext_read_latency");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(sizes.size());
+  for (const std::size_t size : sizes) {
+    points.push_back([size] {
+      Row r;
+      r.size = size;
+      r.spin = read_latency_ns(Mode::kSpin, size);
+      r.host = read_latency_ns(Mode::kHostDfs, size);
+      r.raw = read_latency_ns(Mode::kRaw, size);
+      return r;
+    });
+  }
+  const auto rows = runner.run(points);
+
   std::printf("%10s %14s %14s %12s %12s\n", "size", "sPIN read", "host-CPU read", "raw read",
               "sPIN/raw");
-  for (const std::size_t size :
-       {std::size_t{512}, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB}) {
-    const double spin = read_latency_ns(Mode::kSpin, size);
-    const double host = read_latency_ns(Mode::kHostDfs, size);
-    const double raw = read_latency_ns(Mode::kRaw, size);
-    std::printf("%10s %12.0fns %12.0fns %10.0fns %11.2fx\n", size_label(size).c_str(), spin,
-                host, raw, spin / raw);
-    std::printf("CSV:ext_read,%zu,%.1f,%.1f,%.1f\n", size, spin, host, raw);
+  char csv[96];
+  for (const Row& r : rows) {
+    std::printf("%10s %12.0fns %12.0fns %10.0fns %11.2fx\n", size_label(r.size).c_str(), r.spin,
+                r.host, r.raw, r.spin / r.raw);
+    std::snprintf(csv, sizeof csv, "ext_read,%zu,%.1f,%.1f,%.1f", r.size, r.spin, r.host, r.raw);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\nReading: the offloaded read pays one capability check and tracks raw\n"
               "RDMA; the CPU-mode read adds notification latency plus a bounce copy\n"
               "that grows with size.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

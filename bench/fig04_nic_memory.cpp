@@ -12,6 +12,12 @@ int main() {
   print_header("Worst-case NIC memory vs concurrent writes", "Fig. 4 of the paper");
   analysis::NicMemoryModel model;
 
+  // Analytic (microseconds of work) — runs serially; the SweepReport only
+  // mirrors the CSV rows into BENCH_fig04_nic_memory.json.
+  SweepReport report("fig04_nic_memory");
+  std::size_t points = 0;
+  char csv[96];
+
   std::printf("request-table capacity: %s -> %llu concurrent writes (paper: ~82 K)\n\n",
               format_size(model.available_bytes).c_str(),
               static_cast<unsigned long long>(model.capacity_writes()));
@@ -24,7 +30,11 @@ int main() {
     const std::size_t mem = model.memory_for(writes);
     std::printf("%12llu %14s %10s\n", static_cast<unsigned long long>(writes),
                 format_size(mem).c_str(), mem <= model.available_bytes ? "yes" : "NO");
-    std::printf("CSV:fig04_mem,%llu,%zu\n", static_cast<unsigned long long>(writes), mem);
+    std::snprintf(csv, sizeof csv, "fig04_mem,%llu,%zu",
+                  static_cast<unsigned long long>(writes), mem);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
+    ++points;
   }
 
   std::printf("\nLittle's-law concurrency at 400 Gbit/s line rate (lambda = BW/size,\n"
@@ -36,10 +46,14 @@ int main() {
     std::printf("%10s %16s %18.1f %16s\n", format_size(size).c_str(),
                 format_time(model.service_time(size)).c_str(), l,
                 format_size(static_cast<std::size_t>(l * model.descriptor_bytes)).c_str());
-    std::printf("CSV:fig04_littles,%zu,%.2f\n", size, l);
+    std::snprintf(csv, sizeof csv, "fig04_littles,%zu,%.2f", size, l);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
+    ++points;
   }
   std::printf("\nTakeaway (paper §III-B.2): even at line rate the descriptor area\n"
               "bounds concurrency at ~82 K writes; small writes are bounded by the\n"
               "per-write overhead, large writes by transfer time.\n");
+  report.finish(/*threads=*/1, points);
   return 0;
 }

@@ -25,8 +25,12 @@ int main() {
               static_cast<double>(cfg.hpu_dispatch) / 1e3);
   std::printf("%-34s %10u   (paper: 200)\n", "DFS request-validation handler",
               dfs::cost::kHhCycles);
-  std::printf("CSV:fig07,%.0f,%u,%.0f,%.0f,%u\n", buf_cycles, cfg.sched_cycles, l1_cycles,
-              static_cast<double>(cfg.hpu_dispatch) / 1e3, dfs::cost::kHhCycles);
+  SweepReport report("fig07_pipeline_breakdown");
+  char csv[96];
+  std::snprintf(csv, sizeof csv, "fig07,%.0f,%u,%.0f,%.0f,%u", buf_cycles, cfg.sched_cycles,
+                l1_cycles, static_cast<double>(cfg.hpu_dispatch) / 1e3, dfs::cost::kHhCycles);
+  std::printf("CSV:%s\n", csv);
+  report.add_csv(csv);
 
   // Cross-check: measured on the full stack. A single-packet validated
   // write's HH completes one pipeline + one HH after arrival.
@@ -42,5 +46,9 @@ int main() {
   const auto& stats = cluster.storage_node(0).pspin().stats();
   std::printf("\nmeasured HH duration on the full stack: %.0f ns (config sum: %u)\n",
               stats.duration_ns(spin::HandlerType::kHeader).mean(), dfs::cost::kHhCycles);
+  std::snprintf(csv, sizeof csv, "fig07_measured_hh,%.0f",
+                stats.duration_ns(spin::HandlerType::kHeader).mean());
+  report.add_csv(csv);
+  report.finish(/*threads=*/1, 2);
   return 0;
 }

@@ -30,24 +30,50 @@ double goodput_point(const char* strat, std::uint8_t k, std::size_t size) {
       .gbit_per_s;
 }
 
+struct Row {
+  std::size_t size = 0;
+  double none = 0, ring = 0, pbt = 0;
+};
+
 }  // namespace
 
 int main() {
   print_header("Single-node goodput vs write size, offloaded replication",
                "Fig. 9 right of the paper");
+
+  const std::vector<std::size_t> sizes = {1 * KiB, 2 * KiB, 4 * KiB, 8 * KiB,
+                                          16 * KiB, 64 * KiB, 256 * KiB};
+
+  SweepReport report("fig09_goodput");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(sizes.size());
+  for (const std::size_t size : sizes) {
+    points.push_back([size] {
+      Row r;
+      r.size = size;
+      r.none = goodput_point("ring", 1, size);
+      r.ring = goodput_point("ring", 4, size);
+      r.pbt = goodput_point("pbt", 4, size);
+      return r;
+    });
+  }
+  const auto rows = runner.run(points);
+
   std::printf("%10s %14s %14s %14s\n", "size", "k=1 (none)", "sPIN-Ring k=4", "sPIN-PBT k=4");
-  for (const std::size_t size :
-       {1 * KiB, 2 * KiB, 4 * KiB, 8 * KiB, 16 * KiB, 64 * KiB, 256 * KiB}) {
-    const double none = goodput_point("ring", 1, size);
-    const double ring = goodput_point("ring", 4, size);
-    const double pbt = goodput_point("pbt", 4, size);
-    std::printf("%10s %11.1f Gb %11.1f Gb %11.1f Gb\n", size_label(size).c_str(), none, ring,
-                pbt);
-    std::printf("CSV:fig09_goodput,%zu,%.2f,%.2f,%.2f\n", size, none, ring, pbt);
+  char csv[96];
+  for (const Row& r : rows) {
+    std::printf("%10s %11.1f Gb %11.1f Gb %11.1f Gb\n", size_label(r.size).c_str(), r.none,
+                r.ring, r.pbt);
+    std::snprintf(csv, sizeof csv, "fig09_goodput,%zu,%.2f,%.2f,%.2f", r.size, r.none, r.ring,
+                  r.pbt);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\nExpected shape (paper): ring reaches line rate (~400 Gbit/s minus\n"
               "header overheads) from ~8 KiB writes; PBT sustains about half because\n"
               "every ingress packet costs two egress packets on a 400 Gbit/s port;\n"
               "1 KiB writes are handler-bound (every packet runs HH+PH+CH).\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

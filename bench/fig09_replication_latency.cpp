@@ -20,61 +20,54 @@ FilePolicy repl(dfs::ReplStrategy strategy, std::uint8_t k) {
   return p;
 }
 
-void run_panel(std::uint8_t k) {
-  std::printf("\n--- replication factor k = %u ---\n", k);
-  std::printf("%10s %12s %12s %12s %12s %12s %12s\n", "size", "CPU-Ring", "CPU-PBT", "RDMA-Flat",
-              "HyperLoop", "sPIN-Ring", "sPIN-PBT");
+struct Row {
+  std::uint8_t k = 0;
+  std::size_t size = 0;
+  Measurement cpu_ring, cpu_pbt, flat, hyperloop, spin_ring, spin_pbt;
+};
 
+Row run_point(std::uint8_t k, std::size_t size) {
   ClusterConfig host_cfg;
   host_cfg.storage_nodes = k;
   host_cfg.install_dfs = false;
   ClusterConfig spin_cfg;
   spin_cfg.storage_nodes = k;
-
-  const std::vector<std::size_t> sizes = {1 * KiB,  4 * KiB,   16 * KiB, 64 * KiB,
-                                          256 * KiB, 512 * KiB, 1 * MiB};
   const auto chunks = default_chunk_sweep();
 
-  for (const std::size_t size : sizes) {
-    const auto cpu_ring = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) {
-            return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
-          };
-        },
-        chunks);
-    const auto cpu_pbt = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) {
-            return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kPbt, chunk);
-          };
-        },
-        chunks);
-    const auto flat = measure_write(host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-                                    [](Cluster& c) { return std::make_unique<protocols::RdmaFlat>(c); });
-    const auto hyperloop = best_over_chunks(
-        host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-        [](std::size_t chunk) {
-          return [chunk](Cluster& c) { return std::make_unique<protocols::HyperLoop>(c, chunk); };
-        },
-        chunks);
-    const auto spin_ring =
-        measure_write(spin_cfg, repl(dfs::ReplStrategy::kRing, k), size,
-                      [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
-    const auto spin_pbt =
-        measure_write(spin_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
-                      [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
-
-    std::printf("%10s %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns\n",
-                size_label(size).c_str(), cpu_ring.latency_ns, cpu_pbt.latency_ns,
-                flat.latency_ns, hyperloop.latency_ns, spin_ring.latency_ns,
-                spin_pbt.latency_ns);
-    std::printf("CSV:fig09_k%u,%zu,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", k, size,
-                cpu_ring.latency_ns, cpu_pbt.latency_ns, flat.latency_ns, hyperloop.latency_ns,
-                spin_ring.latency_ns, spin_pbt.latency_ns);
-  }
+  Row r;
+  r.k = k;
+  r.size = size;
+  r.cpu_ring = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) {
+          return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kRing, chunk);
+        };
+      },
+      chunks);
+  r.cpu_pbt = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) {
+          return std::make_unique<protocols::CpuRepl>(c, dfs::ReplStrategy::kPbt, chunk);
+        };
+      },
+      chunks);
+  r.flat = measure_write(host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+                         [](Cluster& c) { return std::make_unique<protocols::RdmaFlat>(c); });
+  r.hyperloop = best_over_chunks(
+      host_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+      [](std::size_t chunk) {
+        return [chunk](Cluster& c) { return std::make_unique<protocols::HyperLoop>(c, chunk); };
+      },
+      chunks);
+  r.spin_ring =
+      measure_write(spin_cfg, repl(dfs::ReplStrategy::kRing, k), size,
+                    [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
+  r.spin_pbt =
+      measure_write(spin_cfg, repl(dfs::ReplStrategy::kPbt, k), size,
+                    [](Cluster&) { return std::make_unique<protocols::SpinWrite>(); });
+  return r;
 }
 
 }  // namespace
@@ -82,11 +75,44 @@ void run_panel(std::uint8_t k) {
 int main() {
   print_header("Write latency with replication (k=2 and k=4)",
                "Fig. 9 left/center of the paper");
-  run_panel(2);
-  run_panel(4);
+
+  const std::vector<std::size_t> sizes = {1 * KiB,  4 * KiB,   16 * KiB, 64 * KiB,
+                                          256 * KiB, 512 * KiB, 1 * MiB};
+
+  SweepReport report("fig09_replication_latency");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(2 * sizes.size());
+  for (const std::uint8_t k : {std::uint8_t{2}, std::uint8_t{4}}) {
+    for (const std::size_t size : sizes) {
+      points.push_back([k, size] { return run_point(k, size); });
+    }
+  }
+  const auto rows = runner.run(points);
+
+  char csv[160];
+  std::uint8_t last_k = 0;
+  for (const Row& r : rows) {
+    if (r.k != last_k) {
+      std::printf("\n--- replication factor k = %u ---\n", r.k);
+      std::printf("%10s %12s %12s %12s %12s %12s %12s\n", "size", "CPU-Ring", "CPU-PBT",
+                  "RDMA-Flat", "HyperLoop", "sPIN-Ring", "sPIN-PBT");
+      last_k = r.k;
+    }
+    std::printf("%10s %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns %10.0fns\n",
+                size_label(r.size).c_str(), r.cpu_ring.latency_ns, r.cpu_pbt.latency_ns,
+                r.flat.latency_ns, r.hyperloop.latency_ns, r.spin_ring.latency_ns,
+                r.spin_pbt.latency_ns);
+    std::snprintf(csv, sizeof csv, "fig09_k%u,%zu,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f", r.k, r.size,
+                  r.cpu_ring.latency_ns, r.cpu_pbt.latency_ns, r.flat.latency_ns,
+                  r.hyperloop.latency_ns, r.spin_ring.latency_ns, r.spin_pbt.latency_ns);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
+  }
   std::printf("\nExpected shape: RDMA-Flat wins small writes (<=16 KiB, but enforces no\n"
               "validation); beyond that the client's k-fold injection cost makes\n"
               "sPIN-based strategies faster (paper: up to 2x / 2.16x). HyperLoop is\n"
               "penalized by WQE configuration; CPU strategies by host memory moves.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

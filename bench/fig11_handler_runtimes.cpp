@@ -76,23 +76,33 @@ int main() {
   std::printf("%-12s  %-22s %-22s %-22s\n", "", "HH min/med/max (ns)", "PH min/med/max (ns)",
               "CH min/med/max (ns)");
 
-  const Row rows[] = {
-      {"k=1", collect(dfs::ReplStrategy::kRing, 1)},
-      {"k=4, Ring", collect(dfs::ReplStrategy::kRing, 4)},
-      {"k=4, PBT", collect(dfs::ReplStrategy::kPbt, 4)},
+  SweepReport report("fig11_handler_runtimes");
+  SweepRunner runner;
+  const std::vector<std::pair<const char*, std::function<pspin::HandlerStats()>>> configs = {
+      {"k=1", [] { return collect(dfs::ReplStrategy::kRing, 1); }},
+      {"k=4, Ring", [] { return collect(dfs::ReplStrategy::kRing, 4); }},
+      {"k=4, PBT", [] { return collect(dfs::ReplStrategy::kPbt, 4); }},
   };
+  std::vector<std::function<Row()>> points;
+  for (const auto& [label, fn] : configs) {
+    points.push_back([label = label, fn = fn] { return Row{label, fn()}; });
+  }
+  const auto rows = runner.run(points);
+  char csv[192];
   for (const auto& row : rows) {
     print_stats(row.label, row.stats);
-    std::printf("CSV:table1,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f\n", row.label,
-                row.stats.duration_ns(spin::HandlerType::kHeader).mean(),
-                row.stats.duration_ns(spin::HandlerType::kPayload).mean(),
-                row.stats.duration_ns(spin::HandlerType::kCompletion).mean(),
-                row.stats.instructions(spin::HandlerType::kHeader).mean(),
-                row.stats.instructions(spin::HandlerType::kPayload).mean(),
-                row.stats.instructions(spin::HandlerType::kCompletion).mean(),
-                row.stats.ipc(spin::HandlerType::kHeader),
-                row.stats.ipc(spin::HandlerType::kPayload),
-                row.stats.ipc(spin::HandlerType::kCompletion));
+    std::snprintf(csv, sizeof csv, "table1,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f",
+                  row.label, row.stats.duration_ns(spin::HandlerType::kHeader).mean(),
+                  row.stats.duration_ns(spin::HandlerType::kPayload).mean(),
+                  row.stats.duration_ns(spin::HandlerType::kCompletion).mean(),
+                  row.stats.instructions(spin::HandlerType::kHeader).mean(),
+                  row.stats.instructions(spin::HandlerType::kPayload).mean(),
+                  row.stats.instructions(spin::HandlerType::kCompletion).mean(),
+                  row.stats.ipc(spin::HandlerType::kHeader),
+                  row.stats.ipc(spin::HandlerType::kPayload),
+                  row.stats.ipc(spin::HandlerType::kCompletion));
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
 
   std::printf("\nPaper's Table I for comparison (duration ns / instructions / IPC):\n"
@@ -102,5 +112,6 @@ int main() {
               "Key effect: PBT payload handlers collapse to IPC ~0.06 because each\n"
               "ingress packet needs two egress packets and handlers stall on the\n"
               "egress command queue; ring handlers stay under the 400G budget.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

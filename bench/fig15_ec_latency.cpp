@@ -1,6 +1,10 @@
 // Fig. 15 (left) — Erasure-coded write latency: per-packet streaming
 // sPIN-TriEC vs per-chunk INEC-TriEC. As in the paper, the network is
 // scaled to 100 Gbit/s for this comparison (the INEC testbed's rate).
+//
+// The (k,m) x block-size grid is flattened into independent sweep points
+// for the SweepRunner pool; rows print grouped by code as before and are
+// mirrored into BENCH_fig15_ec_latency.json.
 #include "bench/harness.hpp"
 #include "protocols/inec.hpp"
 
@@ -25,33 +29,65 @@ ClusterConfig cfg_100g(unsigned nodes, bool with_spin) {
   return cfg;
 }
 
+struct Row {
+  unsigned k = 0, m = 0;
+  std::size_t size = 0;
+  Measurement spin, inec;
+};
+
 }  // namespace
 
 int main() {
   print_header("EC write latency: sPIN-TriEC vs INEC-TriEC @ 100 Gbit/s",
                "Fig. 15 left of the paper");
 
-  for (const auto& [k, m] : {std::pair<unsigned, unsigned>{2, 1}, {3, 2}}) {
-    std::printf("\n--- RS(%u,%u) ---\n", k, m);
-    std::printf("%10s %14s %14s %10s\n", "block", "sPIN-TriEC", "INEC-TriEC", "speedup");
-    for (const std::size_t size :
-         {4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB}) {
-      const auto policy =
-          ec_policy(static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(m));
-      const auto spin = measure_write(cfg_100g(k + m, true), policy, size, [](Cluster&) {
-        return std::make_unique<protocols::SpinWrite>();
+  const std::vector<std::pair<unsigned, unsigned>> codes = {{2, 1}, {3, 2}};
+  const std::vector<std::size_t> sizes = {4 * KiB, 16 * KiB, 64 * KiB,
+                                          128 * KiB, 256 * KiB, 512 * KiB};
+
+  SweepReport report("fig15_ec_latency");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(codes.size() * sizes.size());
+  for (const auto& [k, m] : codes) {
+    for (const std::size_t size : sizes) {
+      points.push_back([k = k, m = m, size] {
+        Row r;
+        r.k = k;
+        r.m = m;
+        r.size = size;
+        const auto policy = ec_policy(static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(m));
+        r.spin = measure_write(cfg_100g(k + m, true), policy, size, [](Cluster&) {
+          return std::make_unique<protocols::SpinWrite>();
+        });
+        r.inec = measure_write(cfg_100g(k + m, false), policy, size, [](Cluster& c) {
+          return std::make_unique<protocols::InecTriEc>(c);
+        });
+        return r;
       });
-      const auto inec = measure_write(cfg_100g(k + m, false), policy, size, [](Cluster& c) {
-        return std::make_unique<protocols::InecTriEc>(c);
-      });
-      std::printf("%10s %12.0fns %12.0fns %9.2fx\n", size_label(size).c_str(), spin.latency_ns,
-                  inec.latency_ns, inec.latency_ns / spin.latency_ns);
-      std::printf("CSV:fig15_lat_rs%u%u,%zu,%.1f,%.1f\n", k, m, size, spin.latency_ns,
-                  inec.latency_ns);
     }
+  }
+  const auto rows = runner.run(points);
+
+  char csv[128];
+  unsigned last_k = 0, last_m = 0;
+  for (const Row& r : rows) {
+    if (r.k != last_k || r.m != last_m) {
+      std::printf("\n--- RS(%u,%u) ---\n", r.k, r.m);
+      std::printf("%10s %14s %14s %10s\n", "block", "sPIN-TriEC", "INEC-TriEC", "speedup");
+      last_k = r.k;
+      last_m = r.m;
+    }
+    std::printf("%10s %12.0fns %12.0fns %9.2fx\n", size_label(r.size).c_str(),
+                r.spin.latency_ns, r.inec.latency_ns, r.inec.latency_ns / r.spin.latency_ns);
+    std::snprintf(csv, sizeof csv, "fig15_lat_rs%u%u,%zu,%.1f,%.1f", r.k, r.m, r.size,
+                  r.spin.latency_ns, r.inec.latency_ns);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
   }
   std::printf("\nExpected shape (paper): sPIN-TriEC encodes packets on the fly before\n"
               "data crosses PCIe, so it avoids INEC's write-then-read-back chunk\n"
               "bounce and reaches up to ~2x lower write latency.\n");
+  report.finish(runner.threads(), rows.size());
   return 0;
 }

@@ -2,14 +2,17 @@
 // handlers and the simulator are built on: GF(2^8) arithmetic, Reed-Solomon
 // encode/decode, SipHash capability MACs, the event queue, packetization,
 // and the GapServer reservation allocator. After the google-benchmark
-// suite, a standalone calendar-queue-vs-heap goodput sweep runs and writes
-// BENCH_event_queue.json (the acceptance artifact for the PR 2 event-core
-// swap).
+// suite, two standalone sweeps run: a calendar-queue-vs-heap goodput sweep
+// writing BENCH_event_queue.json (the PR 2 acceptance artifact), and a GF
+// kernel-tier sweep writing BENCH_gf256.json (the PR 3 acceptance artifact:
+// fused multi-parity RS encode vs the PR 1 per-coefficient SSSE3 loop).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "auth/capability.hpp"
@@ -364,6 +367,104 @@ void run_event_queue_sweep() {
   report.finish(/*threads=*/1, points);  // serial on purpose: clean timings
 }
 
+// --------------------------------- GF kernel-tier sweep (PR 3)
+//
+// Per-tier mul_add bandwidth for every supported kernel tier, plus the
+// RS(10,4) @ 2 KiB-chunk head-to-head the PR 3 acceptance gate reads:
+// fused multi-parity encode on the best tier vs the PR 1-style
+// per-coefficient SSSE3 loop (zero-fill parity, then one full pass over
+// the data per parity row). Acceptance: fused/best >= 1.5x. Writes
+// BENCH_gf256.json.
+
+double time_gbps(std::size_t bytes_per_iter, const std::function<void()>& body) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up, then run for ~80 ms of wall time.
+  body();
+  std::size_t iters = 0;
+  const auto t0 = Clock::now();
+  Clock::duration elapsed{};
+  do {
+    body();
+    ++iters;
+    elapsed = Clock::now() - t0;
+  } while (elapsed < std::chrono::milliseconds(80));
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  return static_cast<double>(bytes_per_iter) * static_cast<double>(iters) / secs / 1e9;
+}
+
+void run_gf256_sweep() {
+  bench::SweepReport report("gf256");
+  std::printf("\nGF(2^8) kernel tiers: mul_add bandwidth + fused RS(10,4) encode\n");
+  std::printf("%-22s %-8s %10s | %10s\n", "op", "tier", "bytes", "GB/s");
+  std::size_t points = 0;
+
+  const ec::Gf256::Kernel all[] = {ec::Gf256::Kernel::kScalar, ec::Gf256::Kernel::kWord64,
+                                   ec::Gf256::Kernel::kSsse3, ec::Gf256::Kernel::kAvx2,
+                                   ec::Gf256::Kernel::kGfni};
+  for (const auto tier : all) {
+    if (!ec::Gf256::kernel_supported(tier)) {
+      std::printf("%-22s %-8s %10s | %10s\n", "mul_add", ec::Gf256::kernel_name(tier), "-",
+                  "skip");
+      continue;
+    }
+    const auto gf = std::make_unique<ec::Gf256>(tier);
+    for (const std::size_t n : {std::size_t{2048}, std::size_t{64 * 1024}}) {
+      Bytes dst = random_bytes(n, 1);
+      const Bytes src = random_bytes(n, 2);
+      const double gbps = time_gbps(n, [&] { gf->mul_add(dst, src, 0x1D); });
+      std::printf("%-22s %-8s %10zu | %10.2f\n", "mul_add", gf->kernel_name(), n, gbps);
+      char csv[96];
+      std::snprintf(csv, sizeof csv, "mul_add,%s,%zu,%.3f", gf->kernel_name(), n, gbps);
+      report.add_csv(csv);
+      ++points;
+    }
+  }
+
+  // RS(10,4), 2 KiB chunks. Fused path: ReedSolomon::encode (mul_into_multi
+  // then mul_add_multi) on the process-best tier. Baseline: the PR 1 encode
+  // shape — zero-filled parity, one per-coefficient mul_add pass per parity
+  // row — pinned to SSSE3 (the best tier PR 1 had).
+  constexpr unsigned k = 10, m = 4;
+  constexpr std::size_t chunk = 2048;
+  ec::ReedSolomon rs(k, m);
+  std::vector<Bytes> data;
+  for (unsigned i = 0; i < k; ++i) data.push_back(random_bytes(chunk, 100 + i));
+
+  const double fused_gbps = time_gbps(chunk * k, [&] {
+    auto parity = rs.encode(data);
+    benchmark::DoNotOptimize(parity.data());
+  });
+  const char* best = ec::Gf256::instance().kernel_name();
+  std::printf("%-22s %-8s %10zu | %10.2f\n", "rs10_4_encode_fused", best, chunk, fused_gbps);
+
+  const auto ssse3 = std::make_unique<ec::Gf256>(ec::Gf256::Kernel::kSsse3);
+  std::vector<Bytes> parity(m, Bytes(chunk));
+  const double percoeff_gbps = time_gbps(chunk * k, [&] {
+    for (auto& p : parity) std::fill(p.begin(), p.end(), std::uint8_t{0});
+    for (unsigned i = 0; i < m; ++i) {
+      for (unsigned j = 0; j < k; ++j) {
+        ssse3->mul_add(parity[i], data[j], rs.parity_coefficient(i, j));
+      }
+    }
+    benchmark::DoNotOptimize(parity.data());
+  });
+  std::printf("%-22s %-8s %10zu | %10.2f\n", "rs10_4_encode_percoeff", ssse3->kernel_name(),
+              chunk, percoeff_gbps);
+
+  const double speedup = fused_gbps / percoeff_gbps;
+  std::printf("%-22s %-8s %10zu | %9.2fx\n", "rs10_4_speedup", best, chunk, speedup);
+  char csv[160];
+  std::snprintf(csv, sizeof csv, "rs10_4_encode_fused,%s,%zu,%.3f", best, chunk, fused_gbps);
+  report.add_csv(csv);
+  std::snprintf(csv, sizeof csv, "rs10_4_encode_percoeff,%s,%zu,%.3f", ssse3->kernel_name(),
+                chunk, percoeff_gbps);
+  report.add_csv(csv);
+  std::snprintf(csv, sizeof csv, "rs10_4_speedup,%s,%zu,%.3f", best, chunk, speedup);
+  report.add_csv(csv);
+  points += 3;
+  report.finish(/*threads=*/1, points);  // serial on purpose: clean timings
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,5 +473,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_event_queue_sweep();
+  run_gf256_sweep();
   return 0;
 }

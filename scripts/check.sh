@@ -27,3 +27,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # never silently skip them — these are the gate for event-order regressions.
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'SimQueueDifferential|CalendarQueue|EventFn|Determinism'
+
+# GF(2^8) kernel-tier matrix: rerun the EC suites under every tier the host
+# actually supports. gf_kernel_probe reports which tier a forced value
+# resolves to; a mismatch means the tier is unsupported here (or failed its
+# startup self-check and fell down the ladder), so it is skipped with a
+# notice rather than tested as a false positive.
+PROBE="$BUILD_DIR/src/ec/gf_kernel_probe"
+for tier in scalar word64 ssse3 avx2 gfni; do
+  actual="$(NADFS_GF_KERNEL=$tier "$PROBE")"
+  if [ "$actual" != "$tier" ]; then
+    echo "NOTICE: GF kernel tier '$tier' unsupported on this host (resolves to '$actual'); skipping"
+    continue
+  fi
+  echo "== EC test suites under NADFS_GF_KERNEL=$tier"
+  NADFS_GF_KERNEL=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'Gf256|ReedSolomon|EcKernel|EcRoundTrip|EcDigestPin'
+done

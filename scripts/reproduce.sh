@@ -17,3 +17,28 @@ for e in build/examples/*; do
   echo "== $e"
   "$e"
 done
+
+# Collect every per-bench BENCH_<name>.json (written into the repo root by
+# the bench binaries above) into a single BENCH_manifest.json so one file
+# carries the whole run's machine-readable results.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import glob, json, os
+
+entries = []
+for path in sorted(glob.glob("BENCH_*.json")):
+    if path == "BENCH_manifest.json":
+        continue
+    try:
+        with open(path) as f:
+            entries.append(json.load(f))
+    except (OSError, ValueError) as e:
+        print(f"warning: skipping {path}: {e}")
+with open("BENCH_manifest.json", "w") as f:
+    json.dump({"benches": entries, "count": len(entries)}, f, indent=2)
+    f.write("\n")
+print(f"JSON: BENCH_manifest.json ({len(entries)} bench reports)")
+EOF
+else
+  echo "warning: python3 not found; skipping BENCH_manifest.json" >&2
+fi

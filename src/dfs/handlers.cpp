@@ -197,10 +197,15 @@ void payload_ec_data(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt, ReqE
   // 1+2m instructions per byte, 2+3m cycles (GF table load-use), Table II.
   ctx.charge_per_byte(payload.size(), cost::ec_instr_per_byte(m), cost::ec_cycles_per_byte(m));
   const auto& rs = st.codec(entry.ec_k, m);
-  const auto inter = rs.encode_intermediate(entry.data_idx, payload);
 
+  // Lay out all m outgoing packets first (headers in front on the first
+  // packet), then encode the intermediate parities straight into their
+  // payload areas with one fused pass over the source payload — no
+  // temporary chunk buffers, and the payload is read once for all m rows.
+  std::vector<net::Packet> out(m);
+  std::vector<std::uint8_t*> dsts(m);
   for (unsigned i = 0; i < m; ++i) {
-    net::Packet p;
+    net::Packet& p = out[i];
     p.dst = entry.parity_nodes[i].node;
     p.opcode = net::Opcode::kRdmaWrite;
     p.msg_id = pkt.msg_id;
@@ -210,13 +215,19 @@ void payload_ec_data(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt, ReqE
     p.user_tag = entry.greq_id;
     if (pkt.first()) {
       p.data = entry.parity_first_headers[i];
-      p.data.insert(p.data.end(), inter[i].begin(), inter[i].end());
+      p.data.resize(p.data.size() + payload.size());
+      dsts[i] = p.data.data() + (p.data.size() - payload.size());
     } else {
-      p.data = inter[i];
+      p.data.resize(payload.size());
+      dsts[i] = p.data.data();
     }
+  }
+  rs.encode_intermediate_into(entry.data_idx, payload, dsts.data());
+
+  for (unsigned i = 0; i < m; ++i) {
     ctx.charge(i == 0 ? cost::kSendFirstInstr : cost::kSendExtraInstr,
                i == 0 ? cost::kSendFirstCycles : cost::kSendExtraCycles);
-    ctx.send(std::move(p));
+    ctx.send(std::move(out[i]));
   }
 }
 

@@ -1,116 +1,130 @@
 #include "ec/gf256.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#define NADFS_GF256_HAVE_SSSE3 1
-#endif
 
 namespace nadfs::ec {
 
-namespace {
+namespace kernels {
 
-constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+// Portable word64 kernels live here (no special flags needed); the SIMD
+// tiers are in gf256_kernels_{ssse3,avx2,gfni}.cpp, each compiled with its
+// own -m flags (src/ec/CMakeLists.txt).
 
-// ------------------------------------------------- portable 64-bit kernel
-//
-// Region multiply via the two 16-entry half-byte split tables: each source
-// word is decomposed into nibbles, the per-nibble products are composed
-// back into a 64-bit word, and the result is applied with one 64-bit
-// XOR/store. The 32-byte table pair stays in L1 for the whole region,
-// unlike the 256-byte row of the full mul table.
-
-inline std::uint64_t word_product(const std::uint8_t* lo, const std::uint8_t* hi,
-                                  std::uint64_t w) {
-  std::uint64_t prod = 0;
-  for (unsigned lane = 0; lane < 64; lane += 8) {
-    const auto b = static_cast<std::uint8_t>(w >> lane);
-    prod |= static_cast<std::uint64_t>(
-                static_cast<std::uint8_t>(lo[b & 0xF] ^ hi[b >> 4]))
-            << lane;
-  }
-  return prod;
-}
-
-void mul_add_word64(const std::uint8_t* lo, const std::uint8_t* hi, std::uint8_t* dst,
-                    const std::uint8_t* src, std::size_t n) {
+void mul_add_word64(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n) {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     std::uint64_t w, d;
     std::memcpy(&w, src + i, 8);
     std::memcpy(&d, dst + i, 8);
-    d ^= word_product(lo, hi, w);
+    d ^= word64_product(c.lo, c.hi, w);
     std::memcpy(dst + i, &d, 8);
   }
   for (; i < n; ++i) {
-    dst[i] = static_cast<std::uint8_t>(dst[i] ^ lo[src[i] & 0xF] ^ hi[src[i] >> 4]);
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ c.lo[src[i] & 0xF] ^ c.hi[src[i] >> 4]);
   }
 }
 
-void mul_into_word64(const std::uint8_t* lo, const std::uint8_t* hi, std::uint8_t* dst,
-                     const std::uint8_t* src, std::size_t n) {
+void mul_into_word64(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n) {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     std::uint64_t w;
     std::memcpy(&w, src + i, 8);
-    const std::uint64_t p = word_product(lo, hi, w);
+    const std::uint64_t p = word64_product(c.lo, c.hi, w);
     std::memcpy(dst + i, &p, 8);
   }
   for (; i < n; ++i) {
-    dst[i] = static_cast<std::uint8_t>(lo[src[i] & 0xF] ^ hi[src[i] >> 4]);
+    dst[i] = static_cast<std::uint8_t>(c.lo[src[i] & 0xF] ^ c.hi[src[i] >> 4]);
   }
 }
 
-// ------------------------------------------------------- SSSE3 kernel
-//
-// The ISA-L scheme: both split tables fit in one xmm register each, and
-// pshufb performs 16 nibble lookups per instruction. Compiled with a
-// per-function target attribute so the rest of the build keeps the default
-// architecture flags; only entered when cpuid reports SSSE3.
+}  // namespace kernels
 
-#ifdef NADFS_GF256_HAVE_SSSE3
+namespace {
 
-__attribute__((target("ssse3"))) void mul_add_ssse3(const std::uint8_t* lo,
-                                                    const std::uint8_t* hi, std::uint8_t* dst,
-                                                    const std::uint8_t* src, std::size_t n) {
-  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo));
-  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi));
-  const __m128i mask = _mm_set1_epi8(0x0F);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i l = _mm_and_si128(v, mask);
-    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
-    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
-    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
-  }
-  mul_add_word64(lo, hi, dst + i, src + i, n - i);
-}
+constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
 
-__attribute__((target("ssse3"))) void mul_into_ssse3(const std::uint8_t* lo,
-                                                     const std::uint8_t* hi, std::uint8_t* dst,
-                                                     const std::uint8_t* src, std::size_t n) {
-  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo));
-  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi));
-  const __m128i mask = _mm_set1_epi8(0x0F);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i l = _mm_and_si128(v, mask);
-    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
-    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
-  }
-  mul_into_word64(lo, hi, dst + i, src + i, n - i);
-}
-
-#endif  // NADFS_GF256_HAVE_SSSE3
+// __builtin_cpu_supports requires a string literal argument.
+#if defined(__x86_64__) || defined(__i386__)
+#define NADFS_CPU_HAS(feature) (__builtin_cpu_supports(feature) != 0)
+#else
+#define NADFS_CPU_HAS(feature) false
+#endif
 
 }  // namespace
 
+bool Gf256::kernel_supported(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+    case Kernel::kWord64:
+      return true;
+    case Kernel::kSsse3:
+#ifdef NADFS_GF_BUILD_SSSE3
+      return NADFS_CPU_HAS("ssse3");
+#else
+      return false;
+#endif
+    case Kernel::kAvx2:
+#ifdef NADFS_GF_BUILD_AVX2
+      return NADFS_CPU_HAS("avx2");
+#else
+      return false;
+#endif
+    case Kernel::kGfni:
+#ifdef NADFS_GF_BUILD_GFNI
+      return NADFS_CPU_HAS("gfni") && NADFS_CPU_HAS("avx512f") && NADFS_CPU_HAS("avx512bw");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::optional<Gf256::Kernel> Gf256::parse_kernel_name(const char* name) {
+  if (name == nullptr) return std::nullopt;
+  if (std::strcmp(name, "scalar") == 0) return Kernel::kScalar;
+  if (std::strcmp(name, "word64") == 0) return Kernel::kWord64;
+  if (std::strcmp(name, "ssse3") == 0) return Kernel::kSsse3;
+  if (std::strcmp(name, "avx2") == 0) return Kernel::kAvx2;
+  if (std::strcmp(name, "gfni") == 0) return Kernel::kGfni;
+  return std::nullopt;
+}
+
+const char* Gf256::kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kGfni:
+      return "gfni";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kWord64:
+      return "word64";
+    case Kernel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
 Gf256::Gf256() {
+  build_tables();
+  std::optional<Kernel> forced = parse_kernel_name(std::getenv("NADFS_GF_KERNEL"));
+  if (const char* env = std::getenv("NADFS_GF_KERNEL");
+      env != nullptr && !forced.has_value()) {
+    std::fprintf(stderr, "gf256: unknown NADFS_GF_KERNEL '%s', auto-selecting\n", env);
+  }
+  select_kernel(forced);
+}
+
+Gf256::Gf256(Kernel forced) {
+  build_tables();
+  select_kernel(forced);
+}
+
+void Gf256::build_tables() {
   // Build exp/log tables from the generator 2 (primitive for 0x11D).
   unsigned x = 1;
   for (unsigned i = 0; i < 255; ++i) {
@@ -145,25 +159,88 @@ Gf256::Gf256() {
     }
   }
 
-  kernel_ = Kernel::kWord64;
-#ifdef NADFS_GF256_HAVE_SSSE3
-  if (__builtin_cpu_supports("ssse3")) kernel_ = Kernel::kSsse3;
+  // gf2p8affineqb matrices: y = c * x is GF(2)-linear in the bits of x, so
+  // matrix column j is the field element c * x^j (taken straight from the
+  // verified mul table); gf2p8affineqb expects row i in byte 7-i, with row
+  // bit j selecting source bit j.
+  for (unsigned c = 0; c < 256; ++c) {
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < 8; ++j) {
+      const std::uint8_t col = mul_[c][1u << j];
+      for (unsigned i = 0; i < 8; ++i) {
+        if (col & (1u << i)) m |= std::uint64_t{1} << ((7 - i) * 8 + j);
+      }
+    }
+    affine_[c] = m;
+  }
+}
+
+void Gf256::select_kernel(std::optional<Kernel> forced) {
+  // Candidate ladder, best tier first; a forced tier that is unsupported
+  // (or fails its self-check) falls through to the next supported one, so
+  // the instance is always usable and kernel() reports what actually runs.
+  const Kernel ladder[] = {Kernel::kGfni, Kernel::kAvx2, Kernel::kSsse3, Kernel::kWord64,
+                           Kernel::kScalar};
+  bool reached_forced_start = !forced.has_value();
+  for (const Kernel k : ladder) {
+    if (!reached_forced_start) {
+      if (k != *forced) continue;
+      reached_forced_start = true;
+    }
+    if (!kernel_supported(k)) continue;
+    kernel_ = k;
+    switch (k) {
+#ifdef NADFS_GF_BUILD_GFNI
+      case Kernel::kGfni:
+        mul_add_fn_ = kernels::mul_add_gfni;
+        mul_into_fn_ = kernels::mul_into_gfni;
+        break;
 #endif
-  // Paranoia pays once at startup: if the selected word kernel disagrees
-  // with the scalar table path on a probe sweep, run scalar forever.
-  if (!kernel_matches_scalar()) kernel_ = Kernel::kScalar;
+#ifdef NADFS_GF_BUILD_AVX2
+      case Kernel::kAvx2:
+        mul_add_fn_ = kernels::mul_add_avx2;
+        mul_into_fn_ = kernels::mul_into_avx2;
+        break;
+#endif
+#ifdef NADFS_GF_BUILD_SSSE3
+      case Kernel::kSsse3:
+        mul_add_fn_ = kernels::mul_add_ssse3;
+        mul_into_fn_ = kernels::mul_into_ssse3;
+        break;
+#endif
+      case Kernel::kWord64:
+        mul_add_fn_ = kernels::mul_add_word64;
+        mul_into_fn_ = kernels::mul_into_word64;
+        break;
+      default:
+        kernel_ = Kernel::kScalar;
+        mul_add_fn_ = nullptr;
+        mul_into_fn_ = nullptr;
+        return;  // scalar needs no self-check: it IS the reference
+    }
+    // Paranoia pays once at startup: a tier that disagrees with the scalar
+    // table path on the probe sweep is skipped and the ladder continues.
+    if (kernel_matches_scalar()) return;
+    std::fprintf(stderr, "gf256: %s kernel failed self-check, stepping down\n",
+                 kernel_name(k));
+  }
+  kernel_ = Kernel::kScalar;
+  mul_add_fn_ = nullptr;
+  mul_into_fn_ = nullptr;
 }
 
 bool Gf256::kernel_matches_scalar() const {
-  // Probe lengths straddle the 16-byte vector width and the 8-byte word
-  // width, including ragged tails; coefficients cover the identity, the
-  // generator, the reduction constant, and a spread of arbitrary values.
-  constexpr std::size_t kMax = 70;
+  // Probe lengths straddle the 64/32/16-byte vector widths and the 8-byte
+  // word width, including ragged tails; coefficients cover the identity,
+  // the generator, the reduction constant, and a spread of arbitrary
+  // values. The fused multi ops are probed with m=3 over the same data.
+  constexpr std::size_t kMax = 200;
   std::uint8_t src[kMax], word_dst[kMax], scalar_dst[kMax];
   std::uint32_t lcg = 0x12345678;
-  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
-                                std::size_t{15}, std::size_t{16}, std::size_t{33},
-                                std::size_t{64}, kMax}) {
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{15},
+        std::size_t{16}, std::size_t{33}, std::size_t{64}, std::size_t{65}, std::size_t{127},
+        kMax}) {
     for (const std::uint8_t coeff : {0x00, 0x01, 0x02, 0x1D, 0x53, 0x8E, 0xFF}) {
       for (std::size_t i = 0; i < len; ++i) {
         lcg = lcg * 1664525u + 1013904223u;
@@ -177,6 +254,28 @@ bool Gf256::kernel_matches_scalar() const {
       mul_into_scalar({scalar_dst, len}, {src, len}, coeff);
       if (std::memcmp(word_dst, scalar_dst, len) != 0) return false;
     }
+    // Fused multi ops vs m independent scalar passes.
+    constexpr unsigned kM = 3;
+    const std::uint8_t coeffs[kM] = {0x01, 0x1D, 0xC3};
+    std::uint8_t multi[kM][kMax], ref[kM][kMax];
+    std::uint8_t* dsts[kM];
+    for (unsigned i = 0; i < kM; ++i) {
+      dsts[i] = multi[i];
+      for (std::size_t j = 0; j < len; ++j) {
+        lcg = lcg * 1664525u + 1013904223u;
+        multi[i][j] = ref[i][j] = static_cast<std::uint8_t>(lcg >> 24);
+      }
+    }
+    mul_add_multi(dsts, coeffs, kM, {src, len});
+    for (unsigned i = 0; i < kM; ++i) {
+      mul_add_scalar({ref[i], len}, {src, len}, coeffs[i]);
+      if (std::memcmp(multi[i], ref[i], len) != 0) return false;
+    }
+    mul_into_multi(dsts, coeffs, kM, {src, len});
+    for (unsigned i = 0; i < kM; ++i) {
+      mul_into_scalar({ref[i], len}, {src, len}, coeffs[i]);
+      if (std::memcmp(multi[i], ref[i], len) != 0) return false;
+    }
   }
   return true;
 }
@@ -186,18 +285,6 @@ const Gf256& Gf256::instance() {
   return gf;
 }
 
-const char* Gf256::kernel_name() const {
-  switch (kernel_) {
-    case Kernel::kSsse3:
-      return "ssse3";
-    case Kernel::kWord64:
-      return "word64";
-    case Kernel::kScalar:
-      return "scalar";
-  }
-  return "scalar";
-}
-
 std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
   if (e == 0) return 1;
   if (a == 0) return 0;
@@ -205,36 +292,50 @@ std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
 }
 
 void Gf256::mul_add(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
-  const std::size_t n = std::min(dst.size(), src.size());
-  switch (kernel_) {
-#ifdef NADFS_GF256_HAVE_SSSE3
-    case Kernel::kSsse3:
-      mul_add_ssse3(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
-      return;
-#endif
-    case Kernel::kWord64:
-      mul_add_word64(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
-      return;
-    default:
-      mul_add_scalar(dst, src, coeff);
-      return;
+  if (mul_add_fn_ == nullptr) {
+    mul_add_scalar(dst, src, coeff);
+    return;
   }
+  const std::size_t n = std::min(dst.size(), src.size());
+  mul_add_fn_(coeff_ctx(coeff), dst.data(), src.data(), n);
 }
 
 void Gf256::mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const {
+  if (mul_into_fn_ == nullptr) {
+    mul_into_scalar(dst, src, coeff);
+    return;
+  }
   const std::size_t n = std::min(dst.size(), src.size());
-  switch (kernel_) {
-#ifdef NADFS_GF256_HAVE_SSSE3
-    case Kernel::kSsse3:
-      mul_into_ssse3(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
-      return;
-#endif
-    case Kernel::kWord64:
-      mul_into_word64(split_lo_[coeff].data(), split_hi_[coeff].data(), dst.data(), src.data(), n);
-      return;
-    default:
-      mul_into_scalar(dst, src, coeff);
-      return;
+  mul_into_fn_(coeff_ctx(coeff), dst.data(), src.data(), n);
+}
+
+void Gf256::mul_add_multi(std::uint8_t* const* dsts, const std::uint8_t* coeffs, unsigned m,
+                          ByteSpan src) const {
+  const std::size_t n = src.size();
+  for (std::size_t off = 0; off < n; off += kFuseBlockBytes) {
+    const std::size_t len = std::min(kFuseBlockBytes, n - off);
+    for (unsigned i = 0; i < m; ++i) {
+      if (mul_add_fn_ != nullptr) {
+        mul_add_fn_(coeff_ctx(coeffs[i]), dsts[i] + off, src.data() + off, len);
+      } else {
+        mul_add_scalar({dsts[i] + off, len}, src.subspan(off, len), coeffs[i]);
+      }
+    }
+  }
+}
+
+void Gf256::mul_into_multi(std::uint8_t* const* dsts, const std::uint8_t* coeffs, unsigned m,
+                           ByteSpan src) const {
+  const std::size_t n = src.size();
+  for (std::size_t off = 0; off < n; off += kFuseBlockBytes) {
+    const std::size_t len = std::min(kFuseBlockBytes, n - off);
+    for (unsigned i = 0; i < m; ++i) {
+      if (mul_into_fn_ != nullptr) {
+        mul_into_fn_(coeff_ctx(coeffs[i]), dsts[i] + off, src.data() + off, len);
+      } else {
+        mul_into_scalar({dsts[i] + off, len}, src.subspan(off, len), coeffs[i]);
+      }
+    }
   }
 }
 

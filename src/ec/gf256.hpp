@@ -7,29 +7,59 @@
 //
 // The *simulated* handler cost model charges exactly that byte-loop
 // (DESIGN.md §3, Table II), but the host running the simulation does not
-// have to execute it: region operations (`mul_add`/`mul_into`) dispatch at
-// runtime to a word-wide kernel built from two 16-entry half-byte split
-// tables (ISA-L-style) — SSSE3 pshufb when the CPU has it, otherwise a
-// portable 64-bit composition — verified bit-exact against the scalar
-// table path at initialization. The scalar path stays available as the
-// cost-model reference and the fallback of last resort.
+// have to execute it: region operations dispatch at runtime to a tiered
+// kernel ladder
+//
+//   scalar -> word64 -> SSSE3 (pshufb) -> AVX2 (vpshufb) -> AVX-512/GFNI
+//   (gf2p8affineqb)
+//
+// selected once per instance via CPUID (best supported tier wins), each
+// tier self-checked bit-exact against the scalar table path before use and
+// individually forceable with NADFS_GF_KERNEL=scalar|word64|ssse3|avx2|gfni
+// for testing and benching (DESIGN.md §3 kernel-tier table). The scalar
+// path stays available as the cost-model reference and the fallback of
+// last resort.
+//
+// On top of the per-coefficient ops, the fused multi-coefficient API
+// (mul_add_multi / mul_into_multi) makes one region-blocked pass over a
+// source chunk while updating all m parity buffers, so the RS encode inner
+// loop reads each data chunk once instead of m times (ec/reed_solomon.cpp).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
 #include "common/bytes.hpp"
+#include "ec/gf256_kernels.hpp"
 
 namespace nadfs::ec {
 
 class Gf256 {
  public:
-  /// Which region-kernel `mul_add`/`mul_into` dispatch to (picked once at
-  /// table-build time, after a bit-exactness self-check against kScalar).
-  enum class Kernel { kScalar, kWord64, kSsse3 };
+  /// Which region-kernel tier `mul_add`/`mul_into` (and the fused multi
+  /// ops) dispatch to; ordered worst to best. Picked at table-build time
+  /// after a bit-exactness self-check against kScalar.
+  enum class Kernel { kScalar, kWord64, kSsse3, kAvx2, kGfni };
 
-  /// Singleton table set (64 KiB mul table + log/exp); immutable after init.
+  /// Singleton table set (64 KiB mul table + log/exp + split/affine
+  /// tables); immutable after init. Honors NADFS_GF_KERNEL.
   static const Gf256& instance();
+
+  /// True when `k` is both compiled in and supported by this CPU. kScalar
+  /// and kWord64 are always available.
+  static bool kernel_supported(Kernel k);
+
+  /// Parse a NADFS_GF_KERNEL value ("scalar", "word64", "ssse3", "avx2",
+  /// "gfni"); nullopt for anything else.
+  static std::optional<Kernel> parse_kernel_name(const char* name);
+  static const char* kernel_name(Kernel k);
+
+  /// Builds a private table set pinned to the given tier (tests/benches
+  /// compare tiers in-process this way). Falls back down the ladder if the
+  /// tier is unsupported or fails its self-check — check kernel() after
+  /// construction. ~74 KiB of tables: heap-allocate instances.
+  explicit Gf256(Kernel forced);
 
   std::uint8_t mul(std::uint8_t a, std::uint8_t b) const { return mul_[a][b]; }
 
@@ -54,6 +84,17 @@ class Gf256 {
   /// dst[i] = coeff * src[i]. Dispatches to kernel().
   void mul_into(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
 
+  /// Fused multi-coefficient ops: dsts[i][0..n) (+)= coeffs[i] * src[0..n)
+  /// for all i < m, in one region-blocked pass over src (blocks sized so
+  /// the src block stays L1-resident across the m per-coefficient kernel
+  /// applications). The m destination buffers must not overlap src or each
+  /// other. mul_into_multi overwrites the destinations (no zero-fill
+  /// needed beforehand).
+  void mul_add_multi(std::uint8_t* const* dsts, const std::uint8_t* coeffs, unsigned m,
+                     ByteSpan src) const;
+  void mul_into_multi(std::uint8_t* const* dsts, const std::uint8_t* coeffs, unsigned m,
+                      ByteSpan src) const;
+
   /// The byte-at-a-time 256x256-table paths the handler cost model charges
   /// (Table II); kept public so tests and benches can pin word-kernel
   /// equivalence and measure the speedup.
@@ -61,14 +102,24 @@ class Gf256 {
   void mul_into_scalar(MutByteSpan dst, ByteSpan src, std::uint8_t coeff) const;
 
   Kernel kernel() const { return kernel_; }
-  const char* kernel_name() const;
+  const char* kernel_name() const { return kernel_name(kernel_); }
 
   /// Size of the on-NIC multiplication table (resident in NIC L2, §VI-B.2).
   static constexpr std::size_t kTableBytes = 256 * 256;
 
+  /// Region-block size of the fused multi ops: the src block is revisited
+  /// m times from L1 instead of m times from memory.
+  static constexpr std::size_t kFuseBlockBytes = 4096;
+
  private:
-  Gf256();
+  Gf256();  // auto-select: NADFS_GF_KERNEL override, else best supported
+
+  void build_tables();
+  void select_kernel(std::optional<Kernel> forced);
   bool kernel_matches_scalar() const;
+  kernels::CoeffCtx coeff_ctx(std::uint8_t coeff) const {
+    return {split_lo_[coeff].data(), split_hi_[coeff].data(), affine_[coeff]};
+  }
 
   std::array<std::array<std::uint8_t, 256>, 256> mul_;
   std::array<std::uint8_t, 256> inv_;
@@ -80,7 +131,12 @@ class Gf256 {
   /// line pair, so small (packet-sized) regions pay no warm-up.
   std::array<std::array<std::uint8_t, 16>, 256> split_lo_;
   std::array<std::array<std::uint8_t, 16>, 256> split_hi_;
+  /// gf2p8affineqb bit-matrices per coefficient (GFNI tier): matrix column
+  /// j is c * x^j, packed with row i in byte 7-i of the qword. 2 KiB.
+  std::array<std::uint64_t, 256> affine_;
   Kernel kernel_ = Kernel::kScalar;
+  kernels::RegionFn mul_add_fn_ = nullptr;   // null for kScalar
+  kernels::RegionFn mul_into_fn_ = nullptr;  // null for kScalar
 };
 
 }  // namespace nadfs::ec

@@ -1,0 +1,77 @@
+// Internal GF(2^8) region-kernel interface shared by the tier dispatcher
+// (gf256.cpp) and the per-ISA translation units (gf256_kernels_*.cpp).
+//
+// Each SIMD tier lives in its own TU compiled with exactly the -m flags it
+// needs (src/ec/CMakeLists.txt), so the rest of the build keeps the default
+// architecture and the binary stays portable: a tier's code is only ever
+// *executed* after a runtime CPUID check in the dispatcher.
+//
+// All kernels share one signature. The per-coefficient context carries both
+// representations a tier might want:
+//   - lo/hi: the two 16-entry half-byte split tables (ISA-L scheme), used by
+//     word64/SSSE3/AVX2 (pshufb/vpshufb nibble lookups);
+//   - affine: the 8x8 GF(2) bit-matrix of "multiply by c" packed for
+//     gf2p8affineqb (row i of the matrix in byte 7-i), used by the GFNI tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nadfs::ec::kernels {
+
+struct CoeffCtx {
+  const std::uint8_t* lo;  // lo[n] = c * n           (n in 0..15)
+  const std::uint8_t* hi;  // hi[n] = c * (n << 4)
+  std::uint64_t affine;    // gf2p8affineqb matrix for y = c * x
+};
+
+/// dst[i] ^= c * src[i] (add) or dst[i] = c * src[i] (into), n bytes.
+using RegionFn = void (*)(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n);
+
+// ------------------------------------------------ portable word64 kernels
+//
+// Region multiply via the split tables: each source word is decomposed into
+// nibbles, per-nibble products are composed back into a 64-bit word, and
+// the result is applied with one 64-bit XOR/store. Inline here so the SIMD
+// TUs can reuse them for ragged tails without cross-TU calls.
+
+inline std::uint64_t word64_product(const std::uint8_t* lo, const std::uint8_t* hi,
+                                    std::uint64_t w) {
+  std::uint64_t prod = 0;
+  for (unsigned lane = 0; lane < 64; lane += 8) {
+    const auto b = static_cast<std::uint8_t>(w >> lane);
+    prod |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(lo[b & 0xF] ^ hi[b >> 4]))
+            << lane;
+  }
+  return prod;
+}
+
+void mul_add_word64(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n);
+void mul_into_word64(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n);
+
+// --------------------------------------------------- per-ISA tier kernels
+//
+// Declared unconditionally; defined only when the matching TU is compiled
+// in (NADFS_GF_BUILD_* from CMake). The dispatcher references them behind
+// the same #ifdefs, so a missing definition can never be linked.
+
+#ifdef NADFS_GF_BUILD_SSSE3
+void mul_add_ssse3(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+void mul_into_ssse3(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+#endif
+
+#ifdef NADFS_GF_BUILD_AVX2
+void mul_add_avx2(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+void mul_into_avx2(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+#endif
+
+#ifdef NADFS_GF_BUILD_GFNI
+void mul_add_gfni(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+void mul_into_gfni(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+#endif
+
+}  // namespace nadfs::ec::kernels

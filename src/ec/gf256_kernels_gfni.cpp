@@ -1,0 +1,54 @@
+// AVX-512/GFNI GF(2^8) region kernels: gf2p8affineqb applies an arbitrary
+// 8x8 GF(2) bit-matrix to each byte of a zmm register, so "multiply by the
+// constant c" becomes one instruction over 64 bytes once the matrix for c
+// is in a register (CoeffCtx::affine, derived at table-build time from the
+// 0x11D reduction polynomial and verified bit-exact against the scalar
+// table in the dispatcher's startup self-check).
+//
+// Ragged heads/tails use AVX-512BW byte-masked loads/stores, so every
+// region length — including the odd sub-16-byte spans packet handlers
+// produce — runs fully vectorized with no scalar epilogue.
+//
+// Compiled with -mgfni -mavx512f -mavx512bw; only entered after the
+// dispatcher checks CPUID for gfni+avx512f+avx512bw.
+#include "ec/gf256_kernels.hpp"
+
+#include <immintrin.h>
+
+namespace nadfs::ec::kernels {
+
+void mul_add_gfni(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n) {
+  const __m512i mat = _mm512_set1_epi64(static_cast<long long>(c.affine));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i v = _mm512_loadu_si512(src + i);
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(v, mat, 0);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, p));
+  }
+  if (i < n) {
+    const __mmask64 k = _cvtu64_mask64(~std::uint64_t{0} >> (64 - (n - i)));
+    const __m512i v = _mm512_maskz_loadu_epi8(k, src + i);
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(v, mat, 0);
+    const __m512i d = _mm512_maskz_loadu_epi8(k, dst + i);
+    _mm512_mask_storeu_epi8(dst + i, k, _mm512_xor_si512(d, p));
+  }
+}
+
+void mul_into_gfni(const CoeffCtx& c, std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t n) {
+  const __m512i mat = _mm512_set1_epi64(static_cast<long long>(c.affine));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i v = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_gf2p8affine_epi64_epi8(v, mat, 0));
+  }
+  if (i < n) {
+    const __mmask64 k = _cvtu64_mask64(~std::uint64_t{0} >> (64 - (n - i)));
+    const __m512i v = _mm512_maskz_loadu_epi8(k, src + i);
+    _mm512_mask_storeu_epi8(dst + i, k, _mm512_gf2p8affine_epi64_epi8(v, mat, 0));
+  }
+}
+
+}  // namespace nadfs::ec::kernels

@@ -1,0 +1,24 @@
+// Tiny CLI used by scripts/check.sh's kernel-tier matrix: prints the GF
+// region-kernel tier the process actually selected (honoring
+// NADFS_GF_KERNEL), so the script can tell a forced tier from a silent
+// fallback and skip unsupported tiers with a visible notice.
+//
+//   gf_kernel_probe          -> e.g. "gfni"
+//   gf_kernel_probe --list   -> every tier supported on this host/build
+#include <cstdio>
+#include <cstring>
+
+#include "ec/gf256.hpp"
+
+int main(int argc, char** argv) {
+  using nadfs::ec::Gf256;
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    for (const auto k : {Gf256::Kernel::kScalar, Gf256::Kernel::kWord64, Gf256::Kernel::kSsse3,
+                         Gf256::Kernel::kAvx2, Gf256::Kernel::kGfni}) {
+      if (Gf256::kernel_supported(k)) std::printf("%s\n", Gf256::kernel_name(k));
+    }
+    return 0;
+  }
+  std::printf("%s\n", Gf256::instance().kernel_name());
+  return 0;
+}

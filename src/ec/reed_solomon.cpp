@@ -43,33 +43,49 @@ std::vector<Bytes> ReedSolomon::encode(const std::vector<Bytes>& data) const {
       throw std::invalid_argument("ReedSolomon::encode: chunks must have equal length");
     }
   }
+  // Fused inner loop: each data chunk is read ONCE, updating all m parity
+  // buffers per L1-resident block (Gf256::mul_add_multi), instead of the
+  // naive orientation that re-reads every data chunk m times. The first
+  // chunk uses the overwriting variant so the freshly-allocated parity
+  // buffers never take a redundant read-xor pass.
   const auto& gf = Gf256::instance();
-  std::vector<Bytes> parity(m_, Bytes(len, 0));
-  for (unsigned i = 0; i < m_; ++i) {
-    for (unsigned j = 0; j < k_; ++j) {
-      gf.mul_add(parity[i], data[j], parity_coefficient(i, j));
+  std::vector<Bytes> parity(m_, Bytes(len));
+  std::vector<std::uint8_t*> dsts(m_);
+  std::vector<std::uint8_t> coeffs(m_);
+  for (unsigned i = 0; i < m_; ++i) dsts[i] = parity[i].data();
+  for (unsigned j = 0; j < k_; ++j) {
+    for (unsigned i = 0; i < m_; ++i) coeffs[i] = parity_coefficient(i, j);
+    if (j == 0) {
+      gf.mul_into_multi(dsts.data(), coeffs.data(), m_, data[j]);
+    } else {
+      gf.mul_add_multi(dsts.data(), coeffs.data(), m_, data[j]);
     }
   }
   return parity;
 }
 
 std::vector<Bytes> ReedSolomon::encode_intermediate(unsigned data_idx, ByteSpan chunk) const {
-  if (data_idx >= k_) {
-    throw std::out_of_range("ReedSolomon::encode_intermediate: bad data index");
-  }
-  const auto& gf = Gf256::instance();
-  std::vector<Bytes> out(m_, Bytes(chunk.size(), 0));
-  for (unsigned i = 0; i < m_; ++i) {
-    gf.mul_into(out[i], chunk, parity_coefficient(i, data_idx));
-  }
+  std::vector<Bytes> out(m_, Bytes(chunk.size()));
+  std::vector<std::uint8_t*> dsts(m_);
+  for (unsigned i = 0; i < m_; ++i) dsts[i] = out[i].data();
+  encode_intermediate_into(data_idx, chunk, dsts.data());
   return out;
 }
 
-void ReedSolomon::aggregate(MutByteSpan acc, ByteSpan intermediate) {
-  const std::size_t n = std::min(acc.size(), intermediate.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    acc[i] = static_cast<std::uint8_t>(acc[i] ^ intermediate[i]);
+void ReedSolomon::encode_intermediate_into(unsigned data_idx, ByteSpan chunk,
+                                           std::uint8_t* const* dsts) const {
+  if (data_idx >= k_) {
+    throw std::out_of_range("ReedSolomon::encode_intermediate: bad data index");
   }
+  std::vector<std::uint8_t> coeffs(m_);
+  for (unsigned i = 0; i < m_; ++i) coeffs[i] = parity_coefficient(i, data_idx);
+  Gf256::instance().mul_into_multi(dsts, coeffs.data(), m_, chunk);
+}
+
+void ReedSolomon::aggregate(MutByteSpan acc, ByteSpan intermediate) {
+  // XOR is GF-multiply-accumulate by 1; routing through mul_add picks up
+  // whatever SIMD tier the host selected instead of a byte loop.
+  Gf256::instance().mul_add(acc, intermediate, 1);
 }
 
 std::optional<std::vector<Bytes>> ReedSolomon::decode(
@@ -93,11 +109,22 @@ std::optional<std::vector<Bytes>> ReedSolomon::decode(
   }
   if (!invert(sub, k_)) return std::nullopt;
 
+  // Same fused orientation as encode: each surviving chunk is read once,
+  // updating all k recovered rows per block (column c of the inverted
+  // matrix supplies the coefficients).
   const auto& gf = Gf256::instance();
-  std::vector<Bytes> data(k_, Bytes(len, 0));
-  for (unsigned r = 0; r < k_; ++r) {
-    for (unsigned c = 0; c < k_; ++c) {
-      gf.mul_add(data[r], present[c].second, sub[static_cast<std::size_t>(r) * k_ + c]);
+  std::vector<Bytes> data(k_, Bytes(len));
+  std::vector<std::uint8_t*> dsts(k_);
+  std::vector<std::uint8_t> coeffs(k_);
+  for (unsigned r = 0; r < k_; ++r) dsts[r] = data[r].data();
+  for (unsigned c = 0; c < k_; ++c) {
+    for (unsigned r = 0; r < k_; ++r) {
+      coeffs[r] = sub[static_cast<std::size_t>(r) * k_ + c];
+    }
+    if (c == 0) {
+      gf.mul_into_multi(dsts.data(), coeffs.data(), k_, present[c].second);
+    } else {
+      gf.mul_add_multi(dsts.data(), coeffs.data(), k_, present[c].second);
     }
   }
   return data;

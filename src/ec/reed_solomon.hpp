@@ -38,6 +38,14 @@ class ReedSolomon {
   /// parity contributions.
   std::vector<Bytes> encode_intermediate(unsigned data_idx, ByteSpan chunk) const;
 
+  /// Zero-copy variant for the sPIN payload handler: writes the m
+  /// intermediate parities straight into caller-provided buffers (each at
+  /// least chunk.size() bytes — e.g. the payload areas of the outgoing
+  /// packets) with one fused pass over the chunk. Buffers must not overlap
+  /// the chunk or each other.
+  void encode_intermediate_into(unsigned data_idx, ByteSpan chunk,
+                                std::uint8_t* const* dsts) const;
+
   /// TriEC step 2 (at parity node `parity_idx`): XOR-aggregate intermediate
   /// contributions. `acc` accumulates in place.
   static void aggregate(MutByteSpan acc, ByteSpan intermediate);
