@@ -44,3 +44,15 @@ for tier in scalar word64 ssse3 avx2 gfni; do
   NADFS_GF_KERNEL=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -R 'Gf256|ReedSolomon|EcKernel|EcRoundTrip|EcDigestPin'
 done
+
+# Fault/chaos suites under two distinct chaos seeds: the seeded scenarios
+# must hold (and self-digest identically across their internal double runs)
+# for *any* seed, not just the default. The regular ctest pass above already
+# ran them under seed 1; under CHECK_SANITIZE=1 this also puts the whole
+# fault path (deadline events, AckTracker::take, Nic::cancel_read, recovery
+# fallback) under ASan/UBSan. Failures print the fault counters.
+for seed in 1 7; do
+  echo "== chaos/fault suites under NADFS_CHAOS_SEED=$seed"
+  NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'Chaos|ClientTimeout|FaultPlan|FaultNet|FailureDetector'
+done

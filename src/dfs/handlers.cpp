@@ -71,6 +71,7 @@ void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
   } catch (const std::out_of_range&) {
     st.denied.insert(key);
     ++st.auth_failures;
+    ++st.malformed_requests;
     return;  // malformed: drop silently (no client coordinates to NACK)
   }
 

@@ -123,6 +123,9 @@ struct DfsState {
 
   // ---- counters surfaced to tests/benches ----
   std::uint64_t auth_failures = 0;
+  /// Requests whose headers failed to parse (e.g. corrupted on the wire).
+  /// Also booked under auth_failures, which historically covered both.
+  std::uint64_t malformed_requests = 0;
   std::uint64_t table_denials = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t nacks_sent = 0;

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the packet network.
+//
+// Paper §VI-B assumes "monitoring services can check the status of the
+// storage nodes and start the recovery process if some of them become
+// unreachable" — this is the layer that makes nodes unreachable. A
+// FaultPlan combines *scheduled* faults (kill a node at time t, take a
+// link down for a window) with *seeded-rate* faults (drop / duplicate /
+// corrupt each forwarded packet with probability p). The plan is queried
+// by simulated time, so the same plan over the same traffic produces the
+// same fault pattern: determinism under failure is a tested property
+// (tests/chaos_test.cpp runs every scenario twice and compares digests).
+//
+// Fault points (see Network::inject):
+//   - injection:   a packet from a dead node (or one whose link is down)
+//                  never reaches the wire                     -> tx_drops
+//   - switch out:  a packet toward an unreachable node is dropped at the
+//                  output port                                -> rx_drops
+//   - switch out:  seeded-rate drop / corrupt / duplicate     -> random_drops,
+//                  corruptions, duplicates
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace nadfs::net {
+
+/// "End of time" for link-down windows that never come back up.
+inline constexpr TimePs kNeverPs = ~TimePs{0};
+
+/// Per-fault-point counters, owned by the Network and reset when a plan is
+/// installed. Chaos tests print these on failure.
+struct FaultCounters {
+  std::uint64_t tx_drops = 0;      ///< source dead / source link down at injection
+  std::uint64_t rx_drops = 0;      ///< destination dead / link down at the switch
+  std::uint64_t random_drops = 0;  ///< seeded-rate drops
+  std::uint64_t duplicates = 0;    ///< extra deliveries scheduled
+  std::uint64_t corruptions = 0;   ///< payload bytes flipped
+
+  std::uint64_t total_dropped() const { return tx_drops + rx_drops + random_drops; }
+};
+
+class FaultPlan {
+ public:
+  // ---- scheduled faults -------------------------------------------------
+  /// Node is unreachable (no tx, no rx) from `at` on. Permanent: there is
+  /// no revive — a recovered machine would rejoin as a new node.
+  void kill_node(NodeId node, TimePs at) {
+    auto it = kill_at_.find(node);
+    if (it == kill_at_.end()) {
+      kill_at_.emplace(node, at);
+    } else if (at < it->second) {
+      it->second = at;
+    }
+  }
+
+  /// The node's access link (both directions) is down in [from, until).
+  void link_down(NodeId node, TimePs from, TimePs until = kNeverPs) {
+    down_[node].emplace_back(from, until);
+  }
+
+  // ---- seeded-rate faults ----------------------------------------------
+  /// Each forwarded packet is independently dropped / duplicated /
+  /// corrupted with the given probability. Draws come from one RNG seeded
+  /// below, consumed in deterministic (simulated-event) order.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+  void set_corrupt_rate(double p) { corrupt_rate_ = p; }
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  double drop_rate() const { return drop_rate_; }
+  double duplicate_rate() const { return duplicate_rate_; }
+  double corrupt_rate() const { return corrupt_rate_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // ---- queries ----------------------------------------------------------
+  bool node_alive(NodeId node, TimePs t) const {
+    auto it = kill_at_.find(node);
+    return it == kill_at_.end() || t < it->second;
+  }
+
+  bool link_up(NodeId node, TimePs t) const {
+    auto it = down_.find(node);
+    if (it == down_.end()) return true;
+    for (const auto& [from, until] : it->second) {
+      if (t >= from && t < until) return false;
+    }
+    return true;
+  }
+
+  /// A packet can enter/leave `node`'s port at time `t`.
+  bool reachable(NodeId node, TimePs t) const { return node_alive(node, t) && link_up(node, t); }
+
+  bool empty() const {
+    return kill_at_.empty() && down_.empty() && drop_rate_ == 0 && duplicate_rate_ == 0 &&
+           corrupt_rate_ == 0;
+  }
+
+ private:
+  std::unordered_map<NodeId, TimePs> kill_at_;
+  std::unordered_map<NodeId, std::vector<std::pair<TimePs, TimePs>>> down_;
+  double drop_rate_ = 0;
+  double duplicate_rate_ = 0;
+  double corrupt_rate_ = 0;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace nadfs::net

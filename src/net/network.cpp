@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -41,6 +42,16 @@ sim::Window Network::inject(Packet pkt, TimePs earliest) {
   auto& dst = nodes_[pkt.dst];
   const std::size_t wire = pkt.wire_size();
 
+  if (faults_armed_) {
+    // A dead source (or one whose access link is down) never gets the
+    // packet onto the wire; the caller sees an empty serialization window.
+    const TimePs t = std::max(earliest, sim_.now());
+    if (!plan_.reachable(pkt.src, t)) {
+      ++fault_counters_.tx_drops;
+      return sim::Window{t, t};
+    }
+  }
+
   const auto up = src.uplink->reserve(wire, earliest);
   // The packet is fully received at the switch input at up.end + link
   // latency. The downlink is reserved *at that moment* (not eagerly at
@@ -49,19 +60,56 @@ sim::Window Network::inject(Packet pkt, TimePs earliest) {
   // incast onto a storage node.
   const TimePs at_switch = up.end + config_.link_latency + config_.switch_latency;
   auto* dstp = &dst;
-  const TimePs link_latency = config_.link_latency;
-  sim_.schedule_at(at_switch, [this, dstp, wire, link_latency, p = std::move(pkt)]() mutable {
-    const auto down = dstp->downlink->reserve(wire);
-    const TimePs arrival = down.end + link_latency;
-    auto* sink = dstp->sink;
-    auto* delivered = &dstp->delivered_payload;
-    const std::size_t payload = p.data.size();
-    sim_.schedule_at(arrival, [sink, delivered, payload, p2 = std::move(p)]() mutable {
-      *delivered += payload;
-      sink->on_packet(std::move(p2));
-    });
+  sim_.schedule_at(at_switch, [this, dstp, wire, p = std::move(pkt)]() mutable {
+    if (faults_armed_) {
+      // Faults are decided at the switch output port, in event order, so
+      // the RNG draw sequence is a pure function of (plan, traffic).
+      if (!plan_.reachable(p.dst, sim_.now())) {
+        ++fault_counters_.rx_drops;
+        return;
+      }
+      if (plan_.drop_rate() > 0 && fault_rng_.next_double() < plan_.drop_rate()) {
+        ++fault_counters_.random_drops;
+        return;
+      }
+      if (plan_.corrupt_rate() > 0 && fault_rng_.next_double() < plan_.corrupt_rate() &&
+          !p.data.empty()) {
+        const std::size_t byte = fault_rng_.next_below(p.data.size());
+        p.data[byte] ^= static_cast<std::uint8_t>(1 + fault_rng_.next_below(255));
+        ++fault_counters_.corruptions;
+      }
+      if (plan_.duplicate_rate() > 0 && fault_rng_.next_double() < plan_.duplicate_rate()) {
+        ++fault_counters_.duplicates;
+        deliver(dstp, wire, Packet(p));  // the copy rides right behind
+      }
+    }
+    deliver(dstp, wire, std::move(p));
   });
   return up;
+}
+
+void Network::deliver(NodePort* dstp, std::size_t wire, Packet&& pkt) {
+  const auto down = dstp->downlink->reserve(wire);
+  const TimePs arrival = down.end + config_.link_latency;
+  auto* sink = dstp->sink;
+  auto* delivered = &dstp->delivered_payload;
+  const std::size_t payload = pkt.data.size();
+  sim_.schedule_at(arrival, [sink, delivered, payload, p2 = std::move(pkt)]() mutable {
+    *delivered += payload;
+    sink->on_packet(std::move(p2));
+  });
+}
+
+void Network::install_faults(FaultPlan plan) {
+  plan_ = std::move(plan);
+  faults_armed_ = true;
+  fault_counters_ = FaultCounters{};
+  fault_rng_ = Rng(plan_.seed());
+}
+
+FaultPlan& Network::faults() {
+  if (!faults_armed_) install_faults(FaultPlan{});
+  return plan_;
 }
 
 TimePs Network::uplink_free_at(NodeId node) const {

@@ -13,6 +13,8 @@
 #include <deque>
 #include <memory>
 
+#include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +53,19 @@ class Network {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Arm a fault plan. Resets the fault counters and reseeds the fault RNG
+  /// from the plan. With no plan armed, inject() takes the exact pre-fault
+  /// code path (no RNG draws), so fault-free digests are untouched.
+  void install_faults(FaultPlan plan);
+
+  /// The armed plan, arming an empty one on first access. Mutable on
+  /// purpose: chaos hooks add kills mid-run (the plan is queried by time,
+  /// so future-dated additions are safe).
+  FaultPlan& faults();
+
+  bool faults_armed() const { return faults_armed_; }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
  private:
   struct NodePort {
     PacketSink* sink;
@@ -59,11 +74,18 @@ class Network {
     std::uint64_t delivered_payload = 0;
   };
 
+  void deliver(NodePort* dstp, std::size_t wire, Packet&& pkt);
+
   sim::Simulator& sim_;
   NetworkConfig config_;
   // deque: NodePort references stay valid when nodes are added later (the
   // deferred downlink reservation captures a pointer into this container).
   std::deque<NodePort> nodes_;
+
+  bool faults_armed_ = false;
+  FaultPlan plan_;
+  FaultCounters fault_counters_;
+  Rng fault_rng_{1};
 };
 
 }  // namespace nadfs::net

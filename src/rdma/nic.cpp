@@ -142,6 +142,8 @@ void Nic::expect_read_response(std::uint64_t tag, std::uint32_t len, ReadCb cb) 
   pending_reads_[tag] = std::move(pr);
 }
 
+bool Nic::cancel_read(std::uint64_t tag) { return pending_reads_.erase(tag) != 0; }
+
 // ---- spin::NicServices ------------------------------------------------
 
 sim::Window Nic::egress_send(net::Packet pkt, TimePs ready) {
@@ -215,7 +217,12 @@ void Nic::on_packet(net::Packet&& pkt) {
       return;
     case net::Opcode::kRdmaReadResp: {
       auto it = pending_reads_.find(pkt.user_tag);
-      if (it == pending_reads_.end()) return;
+      if (it == pending_reads_.end()) {
+        // Stragglers for a read that was cancelled (deadline expiry) or
+        // already assembled: dropped by design, but visible.
+        ++late_read_packets_;
+        return;
+      }
       PendingRead& pr = it->second;
       const std::size_t off = static_cast<std::size_t>(pkt.seq) * net_.mtu();
       std::copy(pkt.data.begin(), pkt.data.end(),

@@ -120,6 +120,14 @@ class Nic : public net::PacketSink, public spin::NicServices {
   /// Register interest in a kRdmaReadResp stream tagged `tag` (DFS reads
   /// answered by remote sPIN handlers). `len` is the expected total size.
   void expect_read_response(std::uint64_t tag, std::uint32_t len, ReadCb cb);
+
+  /// Abandon a pending read (client-side deadline expiry). Returns false if
+  /// `tag` was not pending — the response already completed it. Straggler
+  /// response packets for a cancelled read count as late_read_packets.
+  bool cancel_read(std::uint64_t tag);
+  std::size_t pending_read_count() const { return pending_reads_.size(); }
+  std::uint64_t late_read_packets() const { return late_read_packets_; }
+
   std::size_t armed_triggers() const { return triggers_.size(); }
 
   // ---- receive-side hooks ----------------------------------------------
@@ -206,6 +214,7 @@ class Nic : public net::PacketSink, public spin::NicServices {
 
   std::unordered_map<std::uint64_t, WriteCb> pending_writes_;  // by msg_id
   std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  std::uint64_t late_read_packets_ = 0;
 
   // key: src<<32 ^ msg_id-ish; see assembly_key().
   static std::uint64_t assembly_key(net::NodeId src, std::uint64_t msg_id) {

@@ -1,5 +1,6 @@
 #include "services/client.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nadfs::services {
@@ -7,7 +8,13 @@ namespace nadfs::services {
 void AckTracker::install(rdma::Nic& nic) {
   nic.set_control_handler([this](const net::Packet& pkt, TimePs at) {
     auto it = ops_.find(pkt.user_tag);
-    if (it == ops_.end()) return;
+    if (it == ops_.end()) {
+      // Control packet for a tag we no longer track: the op was cancelled
+      // (deadline expiry) or already completed. Count it — a climbing
+      // late_acks with no timeouts configured would mean a tracking bug.
+      ++(pkt.opcode == net::Opcode::kNack ? stray_nacks_ : late_acks_);
+      return;
+    }
     if (pkt.opcode == net::Opcode::kNack) {
       auto cb = std::move(it->second.cb);
       ops_.erase(it);
@@ -23,10 +30,26 @@ void AckTracker::install(rdma::Nic& nic) {
 }
 
 void AckTracker::expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
-  ops_[tag] = Op{acks_needed, 0, std::move(cb)};
+  if (ops_.count(tag) != 0) {
+    throw std::logic_error("AckTracker::expect: tag already pending (use replace())");
+  }
+  ops_.emplace(tag, Op{acks_needed, 0, std::move(cb)});
+}
+
+void AckTracker::replace(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+  if (ops_.erase(tag) != 0) ++replaced_ops_;
+  ops_.emplace(tag, Op{acks_needed, 0, std::move(cb)});
 }
 
 void AckTracker::cancel(std::uint64_t tag) { ops_.erase(tag); }
+
+std::optional<DoneCb> AckTracker::take(std::uint64_t tag) {
+  auto it = ops_.find(tag);
+  if (it == ops_.end()) return std::nullopt;
+  DoneCb cb = std::move(it->second.cb);
+  ops_.erase(it);
+  return cb;
+}
 
 Client::Client(Cluster& cluster, std::size_t client_idx)
     : cluster_(cluster),
@@ -153,30 +176,65 @@ void Client::striped_read(const FileLayout& layout, const auth::Capability& cap,
   }
 }
 
+DoneCb Client::make_write_completion(std::uint64_t greq, DoneCb cb, unsigned attempts_left,
+                                     std::function<void(unsigned)> reissue) {
+  // A failed attempt is either a NACK (the storage node could not admit
+  // the request, e.g. request table full — paper §III-B.2) or a deadline
+  // expiry (arm_write_deadline left a marker in timed_out_). Both back off
+  // and reissue, booked under the matching retry counter.
+  return [this, greq, cb = std::move(cb), attempts_left,
+          reissue = std::move(reissue)](bool ok, TimePs at) mutable {
+    const bool timed_out = timed_out_.erase(greq) != 0;
+    if (ok || attempts_left == 0) {
+      cb(ok, at);
+      return;
+    }
+    ++(timed_out ? timeout_retries_ : deny_retries_);
+    ++retries_performed_;
+    cluster_.sim().schedule(
+        retry_delay(attempts_left),
+        [attempts_left, reissue = std::move(reissue)] { reissue(attempts_left - 1); });
+  };
+}
+
+void Client::arm_write_deadline(std::uint64_t greq) {
+  if (timeout_ == 0) return;
+  cluster_.sim().schedule(timeout_, [this, greq] {
+    if (auto cb = tracker_.take(greq)) {
+      // Still pending at the deadline: cancel, so straggler acks land in
+      // late_acks instead of completing a dead op, and fail the attempt.
+      ++op_timeouts_;
+      timed_out_.insert(greq);
+      (*cb)(false, cluster_.sim().now());
+    }
+  });
+}
+
+TimePs Client::retry_delay(unsigned attempts_left) const {
+  // attempts_left counts down from max_retries_, so retry n (n = 0 for the
+  // first) sees attempts_left == max_retries_ - n and waits
+  // min(backoff * 2^n, cap).
+  const unsigned n = max_retries_ - attempts_left;
+  const TimePs cap = retry_backoff_cap_ != 0 ? retry_backoff_cap_ : retry_backoff_ * 16;
+  TimePs delay = retry_backoff_;
+  for (unsigned i = 0; i < n && delay < cap; ++i) delay *= 2;
+  return std::min(delay, cap);
+}
+
 void Client::start_write(const FileLayout& layout, const auth::Capability& cap,
                          std::uint64_t offset, Bytes data, DoneCb cb, unsigned attempts_left) {
   const std::uint64_t greq = next_greq();
-  DoneCb completion;
-  if (attempts_left == 0) {
-    completion = std::move(cb);
-  } else {
-    // Retry-on-denial: a NACK means the storage node could not admit the
-    // request (e.g. request table full); back off and reissue.
-    completion = [this, &layout, cap, offset, data, cb = std::move(cb),
-                  attempts_left](bool ok, TimePs at) mutable {
-      if (ok) {
-        cb(true, at);
-        return;
-      }
-      ++retries_performed_;
-      cluster_.sim().schedule(retry_backoff_, [this, &layout, cap, offset,
-                                               data = std::move(data), cb = std::move(cb),
-                                               attempts_left]() mutable {
-        start_write(layout, cap, offset, std::move(data), std::move(cb), attempts_left - 1);
-      });
+  std::function<void(unsigned)> reissue;
+  if (attempts_left > 0) {
+    // The reissue closure owns a copy of the payload; a retry is a fresh
+    // attempt under a fresh greq against the same layout.
+    reissue = [this, layout, cap, offset, data, cb](unsigned attempts) mutable {
+      start_write(layout, cap, offset, std::move(data), std::move(cb), attempts);
     };
   }
-  tracker_.expect(greq, acks_for(layout), std::move(completion));
+  tracker_.expect(greq, acks_for(layout),
+                  make_write_completion(greq, std::move(cb), attempts_left, std::move(reissue)));
+  arm_write_deadline(greq);
   switch (layout.policy.resiliency) {
     case dfs::Resiliency::kNone:
       write_plain(layout, cap, offset, std::move(data), greq);
@@ -280,28 +338,45 @@ void Client::read_at(const FileLayout& layout, const auth::Capability& cap,
     striped_read(layout, cap, offset, len, std::move(cb));
     return;
   }
-  const std::uint64_t greq = next_greq();
-  node_.nic().expect_read_response(greq, len, [cb = std::move(cb)](Bytes data, TimePs at) {
-    cb(std::move(data), at);
-  });
-
-  dfs::DfsHeader hdr;
-  hdr.op = dfs::OpType::kRead;
-  hdr.greq_id = greq;
-  hdr.client_node = node_.id();
-  hdr.cap = cap;
-
-  dfs::ReadRequestHeader rrh;
-  rrh.src_addr = layout.targets.front().addr + offset;
-  rrh.len = len;
-
-  node_.nic().post_message(
-      dfs::build_read_packets(node_.id(), layout.targets.front().node, hdr, rrh));
+  dfs::Coord coord = layout.targets.front();
+  coord.addr += offset;
+  start_read(coord, cap, len, std::move(cb), max_retries_);
 }
 
 void Client::read_extent(const dfs::Coord& coord, const auth::Capability& cap,
                          std::uint32_t len, std::function<void(Bytes, TimePs)> cb) {
+  start_read(coord, cap, len, std::move(cb), max_retries_);
+}
+
+void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
+                        std::function<void(Bytes, TimePs)> cb, unsigned attempts_left) {
+  if (len == 0) {
+    // An empty buffer is the read-failure signal; zero-length reads would
+    // make it ambiguous.
+    throw std::invalid_argument("Client::start_read: zero-length read");
+  }
   const std::uint64_t greq = next_greq();
+  if (timeout_ != 0) {
+    // Deadline: if the NIC still holds the pending read, cancel it (any
+    // straggler response packets then count as late) and retry under a
+    // fresh greq, or give up with an empty buffer.
+    cluster_.sim().schedule(timeout_, [this, coord, cap, len, cb, attempts_left,
+                                       greq]() mutable {
+      if (!node_.nic().cancel_read(greq)) return;  // answered in time
+      ++op_timeouts_;
+      if (attempts_left == 0) {
+        cb(Bytes{}, cluster_.sim().now());
+        return;
+      }
+      ++timeout_retries_;
+      ++retries_performed_;
+      cluster_.sim().schedule(
+          retry_delay(attempts_left),
+          [this, coord, cap, len, cb = std::move(cb), attempts_left]() mutable {
+            start_read(coord, cap, len, std::move(cb), attempts_left - 1);
+          });
+    });
+  }
   node_.nic().expect_read_response(greq, len, [cb = std::move(cb)](Bytes data, TimePs at) {
     cb(std::move(data), at);
   });
@@ -318,8 +393,21 @@ void Client::read_extent(const dfs::Coord& coord, const auth::Capability& cap,
 
 void Client::write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
                           DoneCb cb) {
+  start_extent_write(coord, cap, std::move(data), std::move(cb), max_retries_);
+}
+
+void Client::start_extent_write(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
+                                DoneCb cb, unsigned attempts_left) {
   const std::uint64_t greq = next_greq();
-  tracker_.expect(greq, 1, std::move(cb));
+  std::function<void(unsigned)> reissue;
+  if (attempts_left > 0) {
+    reissue = [this, coord, cap, data, cb](unsigned attempts) mutable {
+      start_extent_write(coord, cap, std::move(data), std::move(cb), attempts);
+    };
+  }
+  tracker_.expect(greq, 1,
+                  make_write_completion(greq, std::move(cb), attempts_left, std::move(reissue)));
+  arm_write_deadline(greq);
   dfs::DfsHeader hdr;
   hdr.op = dfs::OpType::kWrite;
   hdr.greq_id = greq;

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "services/cluster.hpp"
 
@@ -24,12 +26,32 @@ class AckTracker {
   /// Route the NIC's control packets (kAck/kNack) into this tracker.
   void install(rdma::Nic& nic);
 
+  /// Register a pending op. Re-expecting a tag that is still pending is a
+  /// hard error (std::logic_error): the old op's callback would be silently
+  /// orphaned — exactly the hazard once timeout-retries re-arm tags. Use
+  /// replace() when superseding is intended.
   void expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb);
+
+  /// Like expect(), but an existing pending op for `tag` is dropped (its
+  /// callback never fires) and counted in replaced_ops().
+  void replace(std::uint64_t tag, unsigned acks_needed, DoneCb cb);
+
   bool pending(std::uint64_t tag) const { return ops_.count(tag) != 0; }
   std::size_t pending_count() const { return ops_.size(); }
 
-  /// Drop a pending op (timeout handling by higher layers).
+  /// Drop a pending op silently; its callback never fires.
   void cancel(std::uint64_t tag);
+
+  /// Remove a pending op and hand back its callback — the timeout path:
+  /// the caller decides whether that means retry or failure.
+  std::optional<DoneCb> take(std::uint64_t tag);
+
+  /// Acks (resp. nacks) that arrived for tags no longer pending — the op
+  /// was cancelled by a timeout or already completed. Expected once
+  /// deadlines cancel ops, but no longer invisible.
+  std::uint64_t late_acks() const { return late_acks_; }
+  std::uint64_t stray_nacks() const { return stray_nacks_; }
+  std::uint64_t replaced_ops() const { return replaced_ops_; }
 
  private:
   struct Op {
@@ -38,6 +60,9 @@ class AckTracker {
     DoneCb cb;
   };
   std::unordered_map<std::uint64_t, Op> ops_;
+  std::uint64_t late_acks_ = 0;
+  std::uint64_t stray_nacks_ = 0;
+  std::uint64_t replaced_ops_ = 0;
 };
 
 class Client {
@@ -48,8 +73,17 @@ class Client {
   ClientNode& node() { return node_; }
   AckTracker& tracker() { return tracker_; }
 
-  /// Fresh globally-unique request id (client id in the high bits).
-  std::uint64_t next_greq() { return (client_id_ << 32) | next_seq_++; }
+  /// Fresh globally-unique request id: client id in the high 32 bits, a
+  /// 32-bit sequence in the low bits. The sequence wraps explicitly back
+  /// to 1 (skipping 0) instead of bleeding into the client-id bits after
+  /// 2^32 requests.
+  std::uint64_t next_greq() {
+    if (next_seq_ > 0xFFFFFFFFull) next_seq_ = 1;
+    return (client_id_ << 32) | next_seq_++;
+  }
+
+  /// Test hook: jump the request sequence (greq wrap regression tests).
+  void debug_set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
 
   /// One-sided DFS write of `data` at object offset 0, policies per the
   /// layout (plain, replicated, or erasure-coded). `cb` fires when every
@@ -63,7 +97,10 @@ class Client {
                 Bytes data, DoneCb cb);
 
   /// One-sided DFS read of `len` bytes at object offset 0 from the primary
-  /// target; the remote completion handler streams the data back.
+  /// target; the remote completion handler streams the data back. With a
+  /// timeout armed, a read whose retries are exhausted completes with an
+  /// *empty* buffer (zero-length reads are rejected up front, so empty is
+  /// unambiguous — the recovery path keys off it).
   void read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
             std::function<void(Bytes, TimePs)> cb);
 
@@ -79,14 +116,32 @@ class Client {
   void write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
                     DoneCb cb);
 
-  /// Denied writes (request-table exhaustion, paper §III-B.2: "the request
-  /// is denied, and the client will retry later") are retried up to
-  /// `retries` times after `backoff`. Default: no retries.
-  void set_retry_policy(unsigned retries, TimePs backoff) {
+  /// Failed attempts — denied writes (request-table exhaustion, paper
+  /// §III-B.2: "the request is denied, and the client will retry later")
+  /// and timed-out ops alike — are retried up to `retries` times with
+  /// capped exponential backoff: retry n (n = 0, 1, ...) waits
+  /// min(backoff * 2^n, backoff_cap). `backoff_cap == 0` means 16x
+  /// backoff. Default: no retries.
+  void set_retry_policy(unsigned retries, TimePs backoff, TimePs backoff_cap = 0) {
     max_retries_ = retries;
     retry_backoff_ = backoff;
+    retry_backoff_cap_ = backoff_cap;
   }
+
+  /// Per-attempt operation deadline; 0 (the default) never times out. On
+  /// expiry the pending op is cancelled — writes via AckTracker::take (a
+  /// straggler ack then counts as late_acks, not a completion), reads via
+  /// Nic::cancel_read — and the op is retried per the retry policy; a
+  /// retry is a fresh attempt under a fresh request id.
+  void set_timeout(TimePs timeout) { timeout_ = timeout; }
+  TimePs timeout() const { return timeout_; }
+
   std::uint64_t retries_performed() const { return retries_performed_; }
+  /// retries_performed(), split by cause.
+  std::uint64_t deny_retries() const { return deny_retries_; }
+  std::uint64_t timeout_retries() const { return timeout_retries_; }
+  /// Deadline expiries (also counts final attempts that were not retried).
+  std::uint64_t op_timeouts() const { return op_timeouts_; }
 
   /// Number of DFS acks a write against `layout` waits for.
   static unsigned acks_for(const FileLayout& layout);
@@ -106,6 +161,16 @@ class Client {
                            std::uint64_t greq);
   void start_write(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
                    Bytes data, DoneCb cb, unsigned attempts_left);
+  void start_extent_write(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
+                          DoneCb cb, unsigned attempts_left);
+  void start_read(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
+                  std::function<void(Bytes, TimePs)> cb, unsigned attempts_left);
+  /// Wrap a write completion with deny/timeout-retry bookkeeping and arm
+  /// the deadline event for `greq` (no-op with timeouts disabled).
+  DoneCb make_write_completion(std::uint64_t greq, DoneCb cb, unsigned attempts_left,
+                               std::function<void(unsigned)> reissue);
+  void arm_write_deadline(std::uint64_t greq);
+  TimePs retry_delay(unsigned attempts_left) const;
   void striped_write(const FileLayout& layout, const auth::Capability& cap,
                      std::uint64_t offset, Bytes data, DoneCb cb);
   void striped_read(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
@@ -119,7 +184,15 @@ class Client {
   bool ec_interleave_ = true;
   unsigned max_retries_ = 0;
   TimePs retry_backoff_ = us(5);
+  TimePs retry_backoff_cap_ = 0;
+  TimePs timeout_ = 0;
   std::uint64_t retries_performed_ = 0;
+  std::uint64_t deny_retries_ = 0;
+  std::uint64_t timeout_retries_ = 0;
+  std::uint64_t op_timeouts_ = 0;
+  // greqs that failed via deadline expiry rather than NACK; consulted (and
+  // erased) by the completion to attribute the retry to the right counter.
+  std::unordered_set<std::uint64_t> timed_out_;
 };
 
 /// Interleave k packet trains packet-by-packet (paper §VI-B.1: interleaved

@@ -38,6 +38,7 @@ ClientNode::ClientNode(sim::Simulator& simulator, net::Network& network,
 
 Cluster::Cluster(ClusterConfig config) : cfg_(config) {
   network_ = std::make_unique<net::Network>(sim_, cfg_.network);
+  if (!cfg_.faults.empty()) network_->install_faults(cfg_.faults);
 
   std::vector<net::NodeId> storage_ids;
   for (unsigned i = 0; i < cfg_.storage_nodes; ++i) {

@@ -83,6 +83,9 @@ struct ClusterConfig {
   pspin::PsPinConfig pspin;
   dfs::DfsConfig dfs;
   bool install_dfs = true;  ///< offload policies to the NICs at start-up
+  /// Fault schedule armed at construction when non-empty (chaos tests can
+  /// also arm/extend one later via network().install_faults() / faults()).
+  net::FaultPlan faults;
 };
 
 class Cluster {

@@ -1,0 +1,93 @@
+#include "services/failure_detector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nadfs::services {
+
+FailureDetector::FailureDetector(Cluster& cluster, Client& prober, FailureDetectorConfig cfg)
+    : cluster_(cluster), prober_(prober), cfg_(cfg), ticker_(cluster.sim()) {
+  // The prober's per-op deadline *is* the probe timeout. The detector does
+  // its own miss counting across heartbeats, so the prober never retries —
+  // one probe, one verdict.
+  prober_.set_timeout(cfg_.probe_timeout);
+  prober_.set_retry_policy(0, cfg_.probe_timeout);
+  // One capability covers every probe: a 1-byte read of storage address 0
+  // on any node (heartbeats carry no object identity; object id 0 is
+  // reserved for control uses like this).
+  probe_cap_ = cluster_.management().grant(prober_.client_id(), 0, auth::Right::kRead, 0, 0, 1);
+  nodes_.reserve(cluster_.storage_node_count());
+  for (std::size_t i = 0; i < cluster_.storage_node_count(); ++i) {
+    NodeState ns;
+    ns.id = cluster_.storage_node(i).id();
+    nodes_.push_back(ns);
+  }
+}
+
+void FailureDetector::start() {
+  ticker_.start(cfg_.probe_interval, [this] { tick(); });
+}
+
+void FailureDetector::stop() { ticker_.stop(); }
+
+void FailureDetector::tick() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Failed is sticky (a recovered machine rejoins as a new node), and a
+    // probe whose deadline has not resolved yet is not double-counted.
+    if (nodes_[i].health == Health::kFailed || nodes_[i].outstanding) continue;
+    probe(i);
+  }
+}
+
+void FailureDetector::probe(std::size_t i) {
+  nodes_[i].outstanding = true;
+  ++probes_sent_;
+  prober_.read_extent(dfs::Coord{nodes_[i].id, 0}, probe_cap_, 1, [this, i](Bytes data,
+                                                                            TimePs at) {
+    NodeState& ns = nodes_[i];
+    ns.outstanding = false;
+    if (!data.empty()) {
+      // Heartbeat answered. A suspected node is rehabilitated; failed
+      // stays failed.
+      ns.misses = 0;
+      if (ns.health == Health::kSuspected) ns.health = Health::kAlive;
+      return;
+    }
+    ++probes_missed_;
+    if (ns.health == Health::kFailed) return;
+    ++ns.misses;
+    if (ns.misses >= cfg_.fail_after) {
+      ns.health = Health::kFailed;
+      ns.failed_at = at;
+      failed_.insert(ns.id);
+      cluster_.metadata().exclude_from_placement(ns.id);
+      if (on_failure_) on_failure_(ns.id, at);
+    } else if (ns.misses >= cfg_.suspect_after) {
+      ns.health = Health::kSuspected;
+    }
+  });
+}
+
+FailureDetector::Health FailureDetector::health(net::NodeId node) const {
+  for (const NodeState& ns : nodes_) {
+    if (ns.id == node) return ns.health;
+  }
+  throw std::out_of_range("FailureDetector::health: not a storage node");
+}
+
+TimePs FailureDetector::failed_at(net::NodeId node) const {
+  for (const NodeState& ns : nodes_) {
+    if (ns.id == node) return ns.failed_at;
+  }
+  throw std::out_of_range("FailureDetector::failed_at: not a storage node");
+}
+
+void FailureDetector::auto_rebuild(RecoveryManager& rm, std::string name,
+                                   RecoveryManager::RebuildResult cb) {
+  set_on_failure(
+      [&rm, name = std::move(name), cb = std::move(cb), this](net::NodeId, TimePs) {
+        rm.rebuild(name, failed_, cb);
+      });
+}
+
+}  // namespace nadfs::services

@@ -1,0 +1,91 @@
+// Failure detector: the paper's "monitoring service" (§VI-B).
+//
+// "Monitoring services can check the status of the storage nodes and start
+// the recovery process if some of them become unreachable." This service is
+// that monitor, built on the normal data path instead of an oracle: it
+// probes every storage node with a tiny DFS read (a heartbeat that
+// exercises NIC, switch, sPIN handler, and storage target), counts missed
+// deadlines, and walks each node alive -> suspected -> failed. A failed
+// node is excluded from metadata placement and reported through
+// set_on_failure / auto_rebuild, which feeds RecoveryManager::rebuild the
+// detector's own failed set — no hand-constructed failure views.
+//
+// Everything runs on simulated time through one seedless mechanism
+// (sim::Periodic + the prober Client's deadline events), so detection
+// times are deterministic for a given fault plan.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "services/recovery.hpp"
+#include "sim/periodic.hpp"
+
+namespace nadfs::services {
+
+struct FailureDetectorConfig {
+  TimePs probe_interval = us(20);  ///< heartbeat cadence per node
+  TimePs probe_timeout = us(10);   ///< deadline per probe (the prober's op timeout)
+  unsigned suspect_after = 1;      ///< consecutive misses -> suspected
+  unsigned fail_after = 3;         ///< consecutive misses -> failed (sticky)
+};
+
+class FailureDetector {
+ public:
+  enum class Health { kAlive, kSuspected, kFailed };
+
+  /// `prober` must be a dedicated client (its NIC control handler and
+  /// timeout/retry policy are owned by the detector; sharing it with a
+  /// workload client would fight over both).
+  FailureDetector(Cluster& cluster, Client& prober, FailureDetectorConfig cfg = {});
+
+  /// Start/stop the heartbeat loop. stop() lets the simulation drain.
+  void start();
+  void stop();
+  bool running() const { return ticker_.running(); }
+
+  Health health(net::NodeId node) const;
+  const std::set<net::NodeId>& failed() const { return failed_; }
+  /// Detection time for a failed node (0: not failed).
+  TimePs failed_at(net::NodeId node) const;
+
+  /// Called once per node transition to kFailed, after the node has been
+  /// excluded from metadata placement.
+  using FailureCb = std::function<void(net::NodeId node, TimePs detected_at)>;
+  void set_on_failure(FailureCb cb) { on_failure_ = std::move(cb); }
+
+  /// §VI-B's "start the recovery process": on every failure, rebuild
+  /// `name` from the detector's current failed set. `cb` fires per rebuild
+  /// attempt. Installs the on_failure hook (replaces any previous one).
+  void auto_rebuild(RecoveryManager& rm, std::string name, RecoveryManager::RebuildResult cb);
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probes_missed() const { return probes_missed_; }
+
+ private:
+  struct NodeState {
+    net::NodeId id = net::kInvalidNode;
+    unsigned misses = 0;
+    bool outstanding = false;  ///< probe in flight (deadline not yet resolved)
+    Health health = Health::kAlive;
+    TimePs failed_at = 0;
+  };
+
+  void tick();
+  void probe(std::size_t i);
+
+  Cluster& cluster_;
+  Client& prober_;
+  FailureDetectorConfig cfg_;
+  auth::Capability probe_cap_;
+  std::vector<NodeState> nodes_;
+  std::set<net::NodeId> failed_;
+  FailureCb on_failure_;
+  sim::Periodic ticker_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_missed_ = 0;
+};
+
+}  // namespace nadfs::services

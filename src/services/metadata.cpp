@@ -77,10 +77,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
   layout.size = size;
   layout.policy = policy;
 
-  auto place = [&](std::uint64_t bytes) {
-    const std::size_t idx = next_placement_++ % nodes_.size();
-    return dfs::Coord{nodes_[idx], allocate_on(idx, bytes)};
-  };
+  auto place = [&](std::uint64_t bytes) { return place_next(bytes, {}); };
 
   switch (policy.resiliency) {
     case dfs::Resiliency::kNone: {
@@ -88,7 +85,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
         layout.targets.push_back(place(size));
         break;
       }
-      if (policy.stripe_size == 0 || policy.stripe_count > nodes_.size()) {
+      if (policy.stripe_size == 0 || policy.stripe_count > eligible_node_count()) {
         throw std::invalid_argument("MetadataService::create: bad striping parameters");
       }
       // Per-stripe extent: ceil of the stripe's share of the object.
@@ -101,7 +98,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
       break;
     }
     case dfs::Resiliency::kReplication: {
-      if (policy.repl_k == 0 || policy.repl_k > nodes_.size()) {
+      if (policy.repl_k == 0 || policy.repl_k > eligible_node_count()) {
         throw std::invalid_argument("MetadataService::create: bad replication factor");
       }
       for (unsigned i = 0; i < policy.repl_k; ++i) layout.targets.push_back(place(size));
@@ -109,7 +106,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
     }
     case dfs::Resiliency::kErasureCoding: {
       if (policy.ec_k == 0 || policy.ec_m == 0 ||
-          policy.ec_k + policy.ec_m > nodes_.size()) {
+          policy.ec_k + policy.ec_m > eligible_node_count()) {
         throw std::invalid_argument("MetadataService::create: bad EC parameters");
       }
       layout.chunk_len = (size + policy.ec_k - 1) / policy.ec_k;
@@ -121,14 +118,24 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
   return files_.emplace(name, std::move(layout)).first->second;
 }
 
-dfs::Coord MetadataService::allocate_spare(std::uint64_t len,
-                                           const std::vector<net::NodeId>& avoid) {
+dfs::Coord MetadataService::place_next(std::uint64_t len,
+                                       const std::vector<net::NodeId>& avoid) {
+  // Round-robin over the eligible nodes: excluded (failed) nodes and the
+  // caller's avoid list are skipped without burning their rotation slot's
+  // fairness — consecutive placements still land on distinct nodes as long
+  // as enough nodes are eligible.
   for (std::size_t tries = 0; tries < nodes_.size(); ++tries) {
     const std::size_t idx = next_placement_++ % nodes_.size();
+    if (excluded_.count(nodes_[idx]) != 0) continue;
     if (std::find(avoid.begin(), avoid.end(), nodes_[idx]) != avoid.end()) continue;
     return dfs::Coord{nodes_[idx], allocate_on(idx, len)};
   }
-  throw std::runtime_error("MetadataService::allocate_spare: no eligible node");
+  throw std::runtime_error("MetadataService: no eligible storage node");
+}
+
+dfs::Coord MetadataService::allocate_spare(std::uint64_t len,
+                                           const std::vector<net::NodeId>& avoid) {
+  return place_next(len, avoid);
 }
 
 void MetadataService::update_layout(const std::string& name, const FileLayout& updated) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -109,6 +110,14 @@ class MetadataService {
                          std::uint64_t expiry_ps = 0) const;
 
   std::size_t storage_node_count() const { return nodes_.size(); }
+  /// Nodes currently eligible for placement (not excluded).
+  std::size_t eligible_node_count() const { return nodes_.size() - excluded_.size(); }
+
+  /// Take a node out of future placement decisions (failure-detector
+  /// integration: a failed node must not receive new objects or spares).
+  /// Existing layouts are untouched — repairing them is recovery's job.
+  void exclude_from_placement(net::NodeId node) { excluded_.insert(node); }
+  bool excluded(net::NodeId node) const { return excluded_.count(node) != 0; }
 
   /// Allocate a fresh extent on a node *not* in `avoid` (recovery targets).
   /// Throws if no eligible node exists.
@@ -121,11 +130,13 @@ class MetadataService {
 
  private:
   std::uint64_t allocate_on(std::size_t node_idx, std::uint64_t len);
+  dfs::Coord place_next(std::uint64_t len, const std::vector<net::NodeId>& avoid);
 
   ManagementService& mgmt_;
   std::vector<net::NodeId> nodes_;
   std::vector<std::uint64_t> alloc_ptr_;  ///< bump allocator per node
   std::unordered_map<std::string, FileLayout> files_;
+  std::set<net::NodeId> excluded_;  ///< failed nodes, out of placement
   std::uint64_t next_object_id_ = 1;
   std::size_t next_placement_ = 0;
 };

@@ -8,46 +8,79 @@ auth::Capability RecoveryManager::scoped_cap(std::uint64_t object_id, auth::Righ
   return cluster_.management().grant(client_.client_id(), object_id, right, 0, coord.addr, len);
 }
 
+struct RecoveryManager::ChunkGather {
+  FileLayout layout;
+  std::uint32_t chunk_len = 0;
+  unsigned want = 0;
+  std::vector<std::pair<unsigned, Bytes>> chunks;
+  std::vector<unsigned> untried;  ///< fallback survivors beyond the first k
+  bool done = false;
+  TimePs last = 0;
+  std::function<void(std::optional<std::vector<std::pair<unsigned, Bytes>>>, TimePs)> cb;
+
+  const dfs::Coord& coord(unsigned idx) const {
+    const unsigned k = layout.policy.ec_k;
+    return idx < k ? layout.targets[idx] : layout.parity[idx - k];
+  }
+};
+
 void RecoveryManager::collect_chunks(
     const FileLayout& layout, const std::set<net::NodeId>& failed,
     std::function<void(std::optional<std::vector<std::pair<unsigned, Bytes>>>, TimePs)> cb) {
   const unsigned k = layout.policy.ec_k;
   const unsigned m = layout.policy.ec_m;
-  const auto chunk_len = static_cast<std::uint32_t>(layout.chunk_len);
 
-  // Survivors, data chunks first (systematic reads are free of decoding).
-  std::vector<unsigned> survivors;
+  // Candidates, data chunks first (systematic reads are free of decoding).
+  std::vector<unsigned> candidates;
   for (unsigned i = 0; i < k + m; ++i) {
     const auto& coord = i < k ? layout.targets[i] : layout.parity[i - k];
-    if (!failed.count(coord.node)) survivors.push_back(i);
+    if (!failed.count(coord.node)) candidates.push_back(i);
   }
-  if (survivors.size() < k) {
+  if (candidates.size() < k) {
     cb(std::nullopt, cluster_.sim().now());
     return;
   }
-  survivors.resize(k);
 
-  struct Gather {
-    std::vector<std::pair<unsigned, Bytes>> chunks;
-    unsigned pending;
-    TimePs last = 0;
-  };
-  auto gather = std::make_shared<Gather>();
-  gather->pending = k;
+  auto gather = std::make_shared<ChunkGather>();
+  gather->layout = layout;
+  gather->chunk_len = static_cast<std::uint32_t>(layout.chunk_len);
+  gather->want = k;
   gather->chunks.reserve(k);
+  gather->untried.assign(candidates.begin() + k, candidates.end());
+  gather->cb = std::move(cb);
+  for (unsigned i = 0; i < k; ++i) issue_chunk_read(gather, candidates[i]);
+}
 
-  for (const unsigned idx : survivors) {
-    const auto& coord = idx < k ? layout.targets[idx] : layout.parity[idx - k];
-    client_.read_extent(coord, scoped_cap(layout.object_id, auth::Right::kRead, coord, chunk_len),
-                        chunk_len,
-                        [gather, idx, cb](Bytes data, TimePs at) {
-                          gather->chunks.emplace_back(idx, std::move(data));
-                          gather->last = std::max(gather->last, at);
-                          if (--gather->pending == 0) {
-                            cb(std::move(gather->chunks), gather->last);
-                          }
-                        });
-  }
+void RecoveryManager::issue_chunk_read(const std::shared_ptr<ChunkGather>& gather,
+                                       unsigned idx) {
+  const auto& coord = gather->coord(idx);
+  client_.read_extent(
+      coord, scoped_cap(gather->layout.object_id, auth::Right::kRead, coord, gather->chunk_len),
+      gather->chunk_len, [this, gather, idx](Bytes data, TimePs at) {
+        if (gather->done) return;
+        gather->last = std::max(gather->last, at);
+        if (data.empty()) {
+          // The client's deadline gave up on this node (an empty buffer is
+          // the read-failure signal — a node that died *during* collection,
+          // after the monitoring view was snapshotted). Fall back to an
+          // untried survivor, or report the object unrecoverable; either
+          // way the caller is answered, never left hanging.
+          if (gather->untried.empty()) {
+            gather->done = true;
+            gather->cb(std::nullopt, gather->last);
+            return;
+          }
+          const unsigned next = gather->untried.front();
+          gather->untried.erase(gather->untried.begin());
+          issue_chunk_read(gather, next);
+          return;
+        }
+        gather->chunks.emplace_back(idx, std::move(data));
+        if (gather->chunks.size() == gather->want) {
+          gather->done = true;
+          gather->cb(std::move(gather->chunks), gather->last);
+        }
+      });
 }
 
 void RecoveryManager::degraded_read(const FileLayout& layout,

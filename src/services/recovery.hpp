@@ -13,6 +13,7 @@
 //     metadata service.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <set>
 
@@ -43,11 +44,16 @@ class RecoveryManager {
   std::uint64_t chunks_rebuilt() const { return chunks_rebuilt_; }
 
  private:
+  struct ChunkGather;
+
   /// Fetch any k surviving chunks; cb receives (chunk_index, bytes) pairs
-  /// or nullopt.
+  /// or nullopt. Chunk reads that fail in flight (the client's deadline
+  /// expired: empty buffer) fall back to survivors beyond the first k; when
+  /// none remain the cb gets nullopt — it never hangs.
   void collect_chunks(
       const FileLayout& layout, const std::set<net::NodeId>& failed,
       std::function<void(std::optional<std::vector<std::pair<unsigned, Bytes>>>, TimePs)> cb);
+  void issue_chunk_read(const std::shared_ptr<ChunkGather>& gather, unsigned idx);
   auth::Capability scoped_cap(std::uint64_t object_id, auth::Right right,
                               const dfs::Coord& coord, std::uint64_t len) const;
 

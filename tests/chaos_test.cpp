@@ -1,0 +1,541 @@
+// Chaos suite: whole-cluster runs under injected faults.
+//
+// These tests tie the PR together: seeded fault plans (net/fault.hpp),
+// client op deadlines + retries (services/client), the heartbeat failure
+// detector, and the EC recovery manager. Each seeded scenario is executed
+// twice and must produce bit-identical digests — determinism under failure
+// is a tested property, not an aspiration.
+//
+// The seed comes from NADFS_CHAOS_SEED (default 1); scripts/check.sh reruns
+// the suite with a second seed, so assertions must hold for *any* seed, and
+// anything seed-dependent (exact drop counts, exact detection times) is
+// folded into the digest rather than pinned.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "services/failure_detector.hpp"
+
+namespace nadfs {
+namespace {
+
+using services::Client;
+using services::Cluster;
+using services::ClusterConfig;
+using services::FailureDetector;
+using services::FilePolicy;
+using services::RecoveryManager;
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("NADFS_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+/// FNV-1a over everything observable in a run; two same-seed runs must agree.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ull;
+  void u8(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(const Bytes& b) {
+    u64(b.size());
+    for (auto x : b) u8(x);
+  }
+  void counters(const net::FaultCounters& fc) {
+    u64(fc.tx_drops);
+    u64(fc.rx_drops);
+    u64(fc.random_drops);
+    u64(fc.duplicates);
+    u64(fc.corruptions);
+  }
+  void client(const Client& c) {
+    u64(c.op_timeouts());
+    u64(c.timeout_retries());
+    u64(c.deny_retries());
+  }
+};
+
+/// On failure, print the fault and client counters so a broken seeded run
+/// is diagnosable from the ctest log alone.
+void dump_if_failed(Cluster& cluster, Client* writer, Client* prober) {
+  if (!::testing::Test::HasFailure()) return;
+  const auto& fc = cluster.network().fault_counters();
+  std::printf("[chaos] seed=%llu tx_drops=%llu rx_drops=%llu random_drops=%llu "
+              "duplicates=%llu corruptions=%llu\n",
+              (unsigned long long)chaos_seed(), (unsigned long long)fc.tx_drops,
+              (unsigned long long)fc.rx_drops, (unsigned long long)fc.random_drops,
+              (unsigned long long)fc.duplicates, (unsigned long long)fc.corruptions);
+  for (Client* c : {writer, prober}) {
+    if (c == nullptr) continue;
+    std::printf("[chaos] client %llu: op_timeouts=%llu timeout_retries=%llu "
+                "deny_retries=%llu late_acks=%llu stray_nacks=%llu pending=%zu\n",
+                (unsigned long long)c->client_id(), (unsigned long long)c->op_timeouts(),
+                (unsigned long long)c->timeout_retries(), (unsigned long long)c->deny_retries(),
+                (unsigned long long)c->tracker().late_acks(),
+                (unsigned long long)c->tracker().stray_nacks(), c->tracker().pending_count());
+  }
+}
+
+/// Systematic plain read of an EC layout: fetch the k data chunks directly
+/// and concatenate (EC data chunks *are* the bytes; parity is extra).
+Bytes ec_plain_read(Cluster& cluster, Client& client, const services::FileLayout& layout) {
+  const auto k = layout.targets.size();
+  std::vector<Bytes> parts(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& coord = layout.targets[i];
+    const auto cap =
+        cluster.management().grant(client.client_id(), layout.object_id, auth::Right::kRead, 0,
+                                   coord.addr, layout.chunk_len);
+    client.read_extent(coord, cap, static_cast<std::uint32_t>(layout.chunk_len),
+                       [&parts, i](Bytes d, TimePs) { parts[i] = std::move(d); });
+  }
+  cluster.sim().run();
+  Bytes out;
+  out.reserve(k * layout.chunk_len);
+  for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  out.resize(layout.size);
+  return out;
+}
+
+// ------------------------------------------------------- client timeouts
+
+TEST(ClientTimeout, DeadlineCancelsWriteAndStragglerAcksAreLate) {
+  // 64 KiB takes ~2.6 us to even serialize, so a 500 ns deadline always
+  // fires first; the storage node still completes each attempt and its ack
+  // arrives after the cancel — the late_acks counter makes that visible.
+  Cluster cluster;
+  Client client(cluster, 0);
+  const auto& layout = cluster.metadata().create("obj", 64 * KiB, FilePolicy{});
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+  client.set_timeout(ns(500));
+  client.set_retry_policy(2, us(5));
+
+  bool done = false, ok = true;
+  client.write(layout, cap, random_bytes(64 * KiB, 3), [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);  // every attempt timed out
+  EXPECT_EQ(client.op_timeouts(), 3u);      // initial + 2 retries
+  EXPECT_EQ(client.timeout_retries(), 2u);
+  EXPECT_EQ(client.deny_retries(), 0u);
+  EXPECT_EQ(client.tracker().late_acks(), 3u);  // one straggler per attempt
+  EXPECT_EQ(client.tracker().stray_nacks(), 0u);
+  EXPECT_EQ(client.tracker().pending_count(), 0u);
+  dump_if_failed(cluster, &client, nullptr);
+}
+
+TEST(ClientTimeout, DenyAndTimeoutRetriesAreAttributedSeparately) {
+  // A read-only capability NACKs every write attempt: all retries are
+  // deny-retries, none are timeout-retries, even with a deadline armed.
+  Cluster cluster;
+  Client client(cluster, 0);
+  const auto& layout = cluster.metadata().create("obj", 4096, FilePolicy{});
+  const auto ro = cluster.metadata().grant(client.client_id(), layout, auth::Right::kRead);
+  client.set_timeout(us(100));  // far beyond the NACK round-trip
+  client.set_retry_policy(2, us(1));
+
+  bool done = false, ok = true;
+  client.write(layout, ro, random_bytes(4096, 5), [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(client.deny_retries(), 2u);
+  EXPECT_EQ(client.timeout_retries(), 0u);
+  EXPECT_EQ(client.op_timeouts(), 0u);
+  EXPECT_EQ(client.tracker().stray_nacks(), 0u);  // every NACK found its op
+  EXPECT_EQ(client.tracker().pending_count(), 0u);
+  dump_if_failed(cluster, &client, nullptr);
+}
+
+TEST(ClientTimeout, LinkFlapIsRiddenOutByTimeoutRetry) {
+  // The target's link is down for the first attempt; the deadline fires,
+  // backoff waits past the outage, and the retry lands. The op's final
+  // verdict is success — the flap costs one timeout-retry, nothing else.
+  Cluster cluster;
+  Client client(cluster, 0);
+  const auto& layout = cluster.metadata().create("obj", 4096, FilePolicy{});
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kReadWrite);
+  const TimePs t0 = cluster.sim().now();
+  cluster.network().faults().link_down(layout.targets[0].node, t0, t0 + us(40));
+  client.set_timeout(us(20));
+  client.set_retry_policy(2, us(30));  // first retry waits 30 us -> lands at ~50 us
+
+  const Bytes data = random_bytes(4096, 7);
+  bool done = false, ok = false;
+  client.write(layout, cap, data, [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(client.op_timeouts(), 1u);
+  EXPECT_EQ(client.timeout_retries(), 1u);
+  EXPECT_EQ(client.deny_retries(), 0u);
+  EXPECT_GE(cluster.network().fault_counters().rx_drops, 1u);  // attempt 1's packets
+  EXPECT_EQ(client.tracker().pending_count(), 0u);
+
+  // The write really landed: read it back.
+  Bytes got;
+  client.read(layout, cap, 4096, [&](Bytes d, TimePs) { got = std::move(d); });
+  cluster.sim().run();
+  EXPECT_EQ(got, data);
+  dump_if_failed(cluster, &client, nullptr);
+}
+
+TEST(ClientTimeout, ReadFromDeadNodeDrainsToEmptyBuffer) {
+  // Reads against a killed node exhaust their retries and complete with an
+  // unambiguous empty buffer (zero-length reads are rejected up front).
+  Cluster cluster;
+  Client client(cluster, 0);
+  const auto& layout = cluster.metadata().create("obj", 4096, FilePolicy{});
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kReadWrite);
+  bool wrote = false;
+  client.write(layout, cap, random_bytes(4096, 9), [&](bool o, TimePs) { wrote = o; });
+  cluster.sim().run();
+  ASSERT_TRUE(wrote);
+
+  EXPECT_THROW(client.read_extent(layout.targets[0], cap, 0, [](Bytes, TimePs) {}),
+               std::invalid_argument);
+
+  cluster.network().faults().kill_node(layout.targets[0].node, cluster.sim().now());
+  client.set_timeout(us(10));
+  client.set_retry_policy(1, us(5));
+  std::optional<Bytes> got;
+  client.read(layout, cap, 4096, [&](Bytes d, TimePs) { got = std::move(d); });
+  cluster.sim().run();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(client.op_timeouts(), 2u);
+  EXPECT_EQ(client.timeout_retries(), 1u);
+  EXPECT_EQ(client.node().nic().pending_read_count(), 0u);
+  dump_if_failed(cluster, &client, nullptr);
+}
+
+// ------------------------------------------------- the acceptance scenario
+
+// Kill a storage node mid-EC-write; the detector (not a hand-built failed
+// set) notices, a degraded read still returns the object, rebuild
+// republishes the layout, and a plain read of the repaired layout returns
+// the original bytes. Returns a digest of everything observable.
+std::uint64_t run_kill_mid_write_scenario(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 7;
+  cfg.clients = 2;
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+  Client prober(cluster, 1);
+  RecoveryManager recovery(cluster, writer);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+  const std::size_t size = 48000;
+  const auto& layout = cluster.metadata().create("obj", size, policy);
+  const auto cap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kReadWrite);
+  const Bytes data = random_bytes(size, 42);  // payload is seed-independent
+
+  // v1 lands cleanly.
+  bool v1_ok = false;
+  writer.write(layout, cap, data, [&](bool ok, TimePs) { v1_ok = ok; });
+  cluster.sim().run();
+  EXPECT_TRUE(v1_ok);
+  const TimePs t0 = cluster.sim().now();
+
+  // Schedule the kill mid-v2: jittered by the chaos seed, but always before
+  // the victim parity node can finish aggregating (>= ~2 us in), so v2
+  // deterministically loses its 5th ack. A parity victim keeps v1 and the
+  // failed v2 byte-identical on every surviving chunk (v2 rewrites the same
+  // bytes), so recovery has one consistent object to reason about.
+  Rng jitter(seed);
+  net::FaultPlan plan;
+  plan.set_seed(seed);
+  const net::NodeId victim = layout.parity[0].node;
+  const TimePs kill_at = t0 + ns(200) + jitter.next_below(us(1));
+  plan.kill_node(victim, kill_at);
+  cluster.network().install_faults(plan);
+
+  writer.set_timeout(us(30));
+  writer.set_retry_policy(2, us(10));
+  bool v2_done = false, v2_ok = true;
+  writer.write(layout, cap, data, [&](bool ok, TimePs) {
+    v2_done = true;
+    v2_ok = ok;
+  });
+
+  // Detector-driven recovery: the failed set fed to degraded_read/rebuild
+  // is the detector's own view.
+  FailureDetector detector(cluster, prober);
+  TimePs detected_at = 0, rebuilt_at = 0;
+  std::optional<Bytes> degraded;
+  std::optional<services::FileLayout> repaired;
+  detector.set_on_failure([&](net::NodeId node, TimePs at) {
+    EXPECT_EQ(node, victim);
+    if (detected_at != 0) return;
+    detected_at = at;
+    recovery.degraded_read(*cluster.metadata().lookup("obj"), detector.failed(),
+                           [&](std::optional<Bytes> d, TimePs) {
+                             degraded = std::move(d);
+                             recovery.rebuild("obj", detector.failed(),
+                                              [&](std::optional<services::FileLayout> l,
+                                                  TimePs t) {
+                                                repaired = std::move(l);
+                                                rebuilt_at = t;
+                                              });
+                           });
+  });
+  detector.start();
+  cluster.sim().run_until(t0 + ms(5));
+  detector.stop();
+  cluster.sim().run();
+
+  // The in-flight write failed (after timeout retries), but the object
+  // survived the node.
+  EXPECT_TRUE(v2_done);
+  EXPECT_FALSE(v2_ok);
+  EXPECT_GE(writer.op_timeouts(), 1u);
+  EXPECT_EQ(writer.timeout_retries(), 2u);
+  EXPECT_GT(detected_at, kill_at);
+  EXPECT_TRUE(degraded.has_value());
+  EXPECT_TRUE(repaired.has_value());
+  if (!degraded.has_value() || !repaired.has_value()) {
+    dump_if_failed(cluster, &writer, &prober);
+    return 0;  // the EXPECTs above already failed the test
+  }
+  EXPECT_EQ(*degraded, data);
+  EXPECT_GT(rebuilt_at, detected_at);
+  for (const auto& c : repaired->targets) EXPECT_NE(c.node, victim);
+  for (const auto& c : repaired->parity) EXPECT_NE(c.node, victim);
+
+  // Plain (non-degraded) read of the republished layout returns the bytes.
+  const auto* current = cluster.metadata().lookup("obj");
+  EXPECT_TRUE(current != nullptr);
+  const Bytes plain = ec_plain_read(cluster, writer, *current);
+  EXPECT_EQ(plain, data);
+
+  // Quiesce: no orphaned request state anywhere on the client side.
+  EXPECT_EQ(writer.tracker().pending_count(), 0u);
+  EXPECT_EQ(prober.tracker().pending_count(), 0u);
+  EXPECT_EQ(writer.node().nic().pending_read_count(), 0u);
+  EXPECT_EQ(prober.node().nic().pending_read_count(), 0u);
+
+  Digest d;
+  d.bytes(plain);
+  d.bytes(*degraded);
+  d.u64(detected_at);
+  d.u64(rebuilt_at);
+  d.u64(kill_at);
+  d.client(writer);
+  d.client(prober);
+  d.u64(writer.tracker().late_acks());
+  d.u64(prober.tracker().late_acks());
+  d.u64(detector.probes_sent());
+  d.u64(detector.probes_missed());
+  d.counters(cluster.network().fault_counters());
+  d.u64(cluster.sim().executed_events());
+  dump_if_failed(cluster, &writer, &prober);
+  return d.h;
+}
+
+TEST(Chaos, KillNodeMidEcWriteDetectorDrivenRecovery) {
+  const std::uint64_t seed = chaos_seed();
+  const auto first = run_kill_mid_write_scenario(seed);
+  const auto second = run_kill_mid_write_scenario(seed);
+  EXPECT_EQ(first, second) << "same seed must replay identically (seed " << seed << ")";
+}
+
+// ------------------------------------------ satellite: death mid-rebuild
+
+TEST(Chaos, RebuildDropsBelowKMidCollectAndReportsLossWithoutHanging) {
+  // Two nodes die; while the rebuild is *collecting* chunks a third node
+  // (one being read from) dies mid-transfer. Only 2 of k=3 chunks remain:
+  // the collect must fall back, find no candidates, and report nullopt —
+  // not hang on the never-completing read.
+  ClusterConfig cfg;
+  cfg.storage_nodes = 7;
+  cfg.clients = 2;
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+  Client prober(cluster, 1);
+  RecoveryManager recovery(cluster, writer);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+  const std::size_t size = 600000;  // 200 KB chunks: ~4 us on the wire
+  const auto& layout = cluster.metadata().create("obj", size, policy);
+  const auto cap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kWrite);
+  bool wrote = false;
+  writer.write(layout, cap, random_bytes(size, 42), [&](bool ok, TimePs) { wrote = ok; });
+  cluster.sim().run();
+  ASSERT_TRUE(wrote);
+  const TimePs t0 = cluster.sim().now();
+
+  // Recovery reads get a real deadline; no retries, so a dead source maps
+  // straight to the empty-buffer fallback path.
+  writer.set_timeout(us(50));
+  writer.set_retry_policy(0, us(10));
+
+  cluster.network().faults().kill_node(layout.targets[0].node, t0 + us(1));
+  cluster.network().faults().kill_node(layout.parity[1].node, t0 + us(1));
+
+  FailureDetector detector(cluster, prober);
+  bool rebuild_started = false, rebuild_done = false;
+  std::optional<services::FileLayout> result;
+  detector.set_on_failure([&](net::NodeId, TimePs at) {
+    if (detector.failed().size() != 2 || rebuild_started) return;
+    rebuild_started = true;
+    // The collect now streams from targets[1], targets[2] and parity[0];
+    // kill one of them 1 us in, mid-transfer.
+    cluster.network().faults().kill_node(layout.targets[1].node, at + us(1));
+    recovery.rebuild("obj", detector.failed(), [&](std::optional<services::FileLayout> l,
+                                                   TimePs) {
+      rebuild_done = true;
+      result = std::move(l);
+    });
+  });
+  detector.start();
+  cluster.sim().run_until(t0 + ms(5));
+  detector.stop();
+  cluster.sim().run();
+
+  EXPECT_TRUE(rebuild_started);
+  EXPECT_TRUE(rebuild_done);                 // did not hang
+  EXPECT_FALSE(result.has_value());          // < k chunks: unrecoverable
+  EXPECT_GE(writer.op_timeouts(), 1u);       // the severed read timed out
+  EXPECT_EQ(writer.tracker().pending_count(), 0u);
+  EXPECT_EQ(writer.node().nic().pending_read_count(), 0u);
+  EXPECT_EQ(prober.node().nic().pending_read_count(), 0u);
+  dump_if_failed(cluster, &writer, &prober);
+}
+
+// ---------------------------------------------------- seeded rate storms
+
+std::uint64_t run_drop_storm(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 5;
+  Cluster cluster(cfg);
+  Client client(cluster, 0);
+
+  net::FaultPlan plan;
+  plan.set_drop_rate(0.05);
+  plan.set_seed(seed);
+  cluster.network().install_faults(plan);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kReplication;
+  policy.repl_k = 3;
+  const auto& layout = cluster.metadata().create("obj", 200 * KiB, policy);
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+  client.set_timeout(us(100));
+  client.set_retry_policy(5, us(20));
+
+  bool done = false, ok = false;
+  client.write(layout, cap, random_bytes(200 * KiB, 11), [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+
+  // Whether the op ultimately lands is the seed's business; termination and
+  // clean quiesce are not.
+  EXPECT_TRUE(done);
+  EXPECT_GT(cluster.network().fault_counters().random_drops, 0u);
+  EXPECT_EQ(client.tracker().pending_count(), 0u);
+
+  Digest d;
+  d.u8(ok ? 1 : 0);
+  d.client(client);
+  d.u64(client.tracker().late_acks());
+  d.u64(client.tracker().stray_nacks());
+  d.counters(cluster.network().fault_counters());
+  d.u64(cluster.sim().executed_events());
+  d.u64(cluster.sim().now());
+  dump_if_failed(cluster, &client, nullptr);
+  return d.h;
+}
+
+TEST(Chaos, SeededDropStormIsDeterministic) {
+  const std::uint64_t seed = chaos_seed();
+  EXPECT_EQ(run_drop_storm(seed), run_drop_storm(seed));
+}
+
+std::uint64_t run_corruption_storm(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 3;
+  Cluster cluster(cfg);
+  Client client(cluster, 0);
+
+  net::FaultPlan plan;
+  plan.set_corrupt_rate(1.0);  // every payload-carrying packet loses a byte
+  plan.set_seed(seed);
+  cluster.network().install_faults(plan);
+
+  const auto& layout = cluster.metadata().create("obj", 32 * KiB, FilePolicy{});
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+  client.set_timeout(us(50));
+  client.set_retry_policy(2, us(10));
+
+  bool done = false, ok = false;
+  client.write(layout, cap, random_bytes(32 * KiB, 13), [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+
+  EXPECT_TRUE(done);
+  EXPECT_GT(cluster.network().fault_counters().corruptions, 0u);
+  EXPECT_EQ(client.tracker().pending_count(), 0u);
+
+  Digest d;
+  d.u8(ok ? 1 : 0);
+  d.client(client);
+  d.counters(cluster.network().fault_counters());
+  std::uint64_t malformed = 0, auth_failures = 0;
+  for (std::size_t n = 0; n < cluster.storage_node_count(); ++n) {
+    malformed += cluster.storage_node(n).dfs_state()->malformed_requests;
+    auth_failures += cluster.storage_node(n).dfs_state()->auth_failures;
+  }
+  // Parse failures are booked under both counters (back-compat), so the
+  // malformed count can never exceed the auth-failure count.
+  EXPECT_LE(malformed, auth_failures);
+  d.u64(malformed);
+  d.u64(auth_failures);
+  d.u64(cluster.sim().executed_events());
+  dump_if_failed(cluster, &client, nullptr);
+  return d.h;
+}
+
+TEST(Chaos, CorruptionStormIsDeterministicAndCounted) {
+  const std::uint64_t seed = chaos_seed();
+  EXPECT_EQ(run_corruption_storm(seed), run_corruption_storm(seed));
+}
+
+}  // namespace
+}  // namespace nadfs

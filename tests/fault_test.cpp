@@ -1,0 +1,219 @@
+// Unit tests for the fault-injection layer (net/fault.hpp + its hooks in
+// Network::inject): scheduled node kills and link-down windows, seeded
+// drop/duplicate/corrupt rates, per-fault counters, and determinism of the
+// whole mechanism.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace nadfs {
+namespace {
+
+struct Recorder : net::PacketSink {
+  std::vector<net::Packet> pkts;
+  void on_packet(net::Packet&& p) override { pkts.push_back(std::move(p)); }
+};
+
+net::Packet mk(net::NodeId src, net::NodeId dst, Bytes data = {}) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.opcode = net::Opcode::kSend;
+  p.msg_id = 1;
+  p.data = std::move(data);
+  return p;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  net::Network net{sim};
+  Recorder a, b;
+  net::NodeId na, nb;
+  Rig() : na(net.add_node(a)), nb(net.add_node(b)) {}
+};
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlan, KillBoundaryIsInclusive) {
+  net::FaultPlan plan;
+  plan.kill_node(3, us(10));
+  EXPECT_TRUE(plan.node_alive(3, us(10) - 1));
+  EXPECT_FALSE(plan.node_alive(3, us(10)));
+  EXPECT_FALSE(plan.node_alive(3, us(999)));
+  EXPECT_TRUE(plan.node_alive(4, us(999)));
+  // A second, earlier kill wins; a later one is ignored.
+  plan.kill_node(3, us(5));
+  EXPECT_FALSE(plan.node_alive(3, us(5)));
+  plan.kill_node(3, us(50));
+  EXPECT_FALSE(plan.node_alive(3, us(5)));
+}
+
+TEST(FaultPlan, LinkDownWindowIsHalfOpen) {
+  net::FaultPlan plan;
+  plan.link_down(1, us(2), us(4));
+  EXPECT_TRUE(plan.link_up(1, us(2) - 1));
+  EXPECT_FALSE(plan.link_up(1, us(2)));
+  EXPECT_FALSE(plan.link_up(1, us(4) - 1));
+  EXPECT_TRUE(plan.link_up(1, us(4)));
+  // Open-ended outage.
+  plan.link_down(2, us(1));
+  EXPECT_FALSE(plan.link_up(2, ms(100)));
+  EXPECT_TRUE(plan.reachable(3, us(3)));
+  EXPECT_FALSE(plan.reachable(1, us(3)));
+}
+
+TEST(FaultPlan, EmptyReflectsConfiguration) {
+  net::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.set_seed(42);  // a seed alone configures nothing
+  EXPECT_TRUE(plan.empty());
+  plan.set_drop_rate(0.1);
+  EXPECT_FALSE(plan.empty());
+}
+
+// ------------------------------------------------------- network hooks
+
+TEST(FaultNet, UnarmedNetworkDeliversEverything) {
+  Rig rig;
+  for (int i = 0; i < 10; ++i) rig.net.inject(mk(rig.na, rig.nb, Bytes(64, 7)));
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 10u);
+  EXPECT_FALSE(rig.net.faults_armed());
+  EXPECT_EQ(rig.net.fault_counters().total_dropped(), 0u);
+}
+
+TEST(FaultNet, DeadSourceDropsAtInjection) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.kill_node(rig.na, us(1));
+  rig.net.install_faults(plan);
+
+  rig.net.inject(mk(rig.na, rig.nb));  // before the kill: delivered
+  rig.sim.schedule(us(2), [&] {
+    const auto w = rig.net.inject(mk(rig.na, rig.nb));  // after: tx drop
+    EXPECT_EQ(w.start, w.end);  // empty serialization window
+  });
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+  EXPECT_EQ(rig.net.fault_counters().tx_drops, 1u);
+  EXPECT_EQ(rig.net.fault_counters().rx_drops, 0u);
+}
+
+TEST(FaultNet, DeadDestinationDropsAtSwitch) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.kill_node(rig.nb, us(1));
+  rig.net.install_faults(plan);
+
+  rig.net.inject(mk(rig.na, rig.nb));
+  rig.sim.schedule(us(2), [&] { rig.net.inject(mk(rig.na, rig.nb)); });
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+  EXPECT_EQ(rig.net.fault_counters().rx_drops, 1u);
+}
+
+TEST(FaultNet, LinkDownWindowDropsThenRecovers) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.link_down(rig.nb, us(1), us(3));
+  rig.net.install_faults(plan);
+
+  rig.sim.schedule(us(2), [&] { rig.net.inject(mk(rig.na, rig.nb)); });  // in window
+  rig.sim.schedule(us(4), [&] { rig.net.inject(mk(rig.na, rig.nb)); });  // recovered
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+  EXPECT_EQ(rig.net.fault_counters().rx_drops, 1u);
+}
+
+TEST(FaultNet, SeededDropRateIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Rig rig;
+    net::FaultPlan plan;
+    plan.set_drop_rate(0.3);
+    plan.set_seed(seed);
+    rig.net.install_faults(plan);
+    for (int i = 0; i < 1000; ++i) rig.net.inject(mk(rig.na, rig.nb, Bytes(32, 1)));
+    rig.sim.run();
+    return std::pair<std::size_t, std::uint64_t>{rig.b.pkts.size(),
+                                                 rig.net.fault_counters().random_drops};
+  };
+  const auto [delivered1, drops1] = run(7);
+  const auto [delivered2, drops2] = run(7);
+  EXPECT_EQ(delivered1, delivered2);
+  EXPECT_EQ(drops1, drops2);
+  EXPECT_EQ(delivered1 + drops1, 1000u);
+  // ~300 of 1000 at p=0.3; generous envelope, this is not a statistics test.
+  EXPECT_GT(drops1, 200u);
+  EXPECT_LT(drops1, 400u);
+  // A different seed draws a different pattern (astronomically unlikely tie
+  // on the exact drop set; allow a tie on the count).
+  const auto [delivered3, drops3] = run(8);
+  EXPECT_EQ(delivered3 + drops3, 1000u);
+}
+
+TEST(FaultNet, DuplicateRateDeliversCopies) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.set_duplicate_rate(1.0);
+  rig.net.install_faults(plan);
+  for (int i = 0; i < 5; ++i) rig.net.inject(mk(rig.na, rig.nb, Bytes(16, 9)));
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 10u);
+  EXPECT_EQ(rig.net.fault_counters().duplicates, 5u);
+}
+
+TEST(FaultNet, CorruptionFlipsPayloadBytes) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.set_corrupt_rate(1.0);
+  rig.net.install_faults(plan);
+  const Bytes orig(128, 0xAB);
+  for (int i = 0; i < 8; ++i) rig.net.inject(mk(rig.na, rig.nb, orig));
+  // Empty payloads cannot be corrupted (the draw still happens).
+  rig.net.inject(mk(rig.na, rig.nb));
+  rig.sim.run();
+  ASSERT_EQ(rig.b.pkts.size(), 9u);
+  EXPECT_EQ(rig.net.fault_counters().corruptions, 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& got = rig.b.pkts[i].data;
+    ASSERT_EQ(got.size(), orig.size());
+    std::size_t diffs = 0;
+    for (std::size_t j = 0; j < got.size(); ++j) diffs += got[j] != orig[j];
+    EXPECT_EQ(diffs, 1u) << "packet " << i;  // exactly one byte flipped
+  }
+  EXPECT_TRUE(rig.b.pkts[8].data.empty());
+}
+
+TEST(FaultNet, FaultsAccessorArmsAndAllowsMidRunKills) {
+  // The chaos-test idiom: hooks add future-dated kills while the sim runs.
+  Rig rig;
+  rig.net.faults();  // arms an empty plan
+  EXPECT_TRUE(rig.net.faults_armed());
+  rig.net.inject(mk(rig.na, rig.nb));
+  rig.sim.schedule(us(1), [&] {
+    rig.net.faults().kill_node(rig.nb, rig.sim.now() + us(1));
+    rig.net.inject(mk(rig.na, rig.nb));            // still deliverable
+  });
+  rig.sim.schedule(us(3), [&] { rig.net.inject(mk(rig.na, rig.nb)); });  // dropped
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 2u);
+  EXPECT_EQ(rig.net.fault_counters().rx_drops, 1u);
+}
+
+TEST(FaultNet, InstallResetsCountersAndRng) {
+  Rig rig;
+  net::FaultPlan plan;
+  plan.set_drop_rate(1.0);
+  rig.net.install_faults(plan);
+  for (int i = 0; i < 3; ++i) rig.net.inject(mk(rig.na, rig.nb));
+  rig.sim.run();
+  EXPECT_EQ(rig.net.fault_counters().random_drops, 3u);
+  rig.net.install_faults(net::FaultPlan{});
+  EXPECT_EQ(rig.net.fault_counters().random_drops, 0u);
+  rig.net.inject(mk(rig.na, rig.nb));
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nadfs

@@ -243,6 +243,8 @@ TEST(AckTracker, CountsAcksToCompletion) {
   EXPECT_TRUE(done);
   EXPECT_TRUE(ok);
   EXPECT_FALSE(tracker.pending(1));
+  EXPECT_EQ(tracker.late_acks(), 0u);
+  EXPECT_EQ(tracker.stray_nacks(), 0u);
 }
 
 TEST(AckTracker, NackFailsImmediately) {
@@ -264,9 +266,10 @@ TEST(AckTracker, NackFailsImmediately) {
   nic.on_packet(std::move(nack));
   EXPECT_TRUE(done);
   EXPECT_FALSE(ok);
+  EXPECT_EQ(tracker.stray_nacks(), 0u);
 }
 
-TEST(AckTracker, UnknownTagIgnored) {
+TEST(AckTracker, UnknownTagIgnoredButCounted) {
   services::AckTracker tracker;
   sim::Simulator sim;
   net::Network net(sim);
@@ -277,6 +280,12 @@ TEST(AckTracker, UnknownTagIgnored) {
   ack.opcode = net::Opcode::kAck;
   ack.user_tag = 99;
   EXPECT_NO_THROW(nic.on_packet(std::move(ack)));
+  EXPECT_EQ(tracker.late_acks(), 1u);
+  net::Packet nack;
+  nack.opcode = net::Opcode::kNack;
+  nack.user_tag = 98;
+  EXPECT_NO_THROW(nic.on_packet(std::move(nack)));
+  EXPECT_EQ(tracker.stray_nacks(), 1u);
 }
 
 TEST(AckTracker, CancelDropsOp) {
@@ -284,6 +293,57 @@ TEST(AckTracker, CancelDropsOp) {
   tracker.expect(3, 1, [](bool, TimePs) { FAIL() << "cancelled op completed"; });
   tracker.cancel(3);
   EXPECT_FALSE(tracker.pending(3));
+}
+
+TEST(AckTracker, ReExpectOfPendingTagIsHardError) {
+  services::AckTracker tracker;
+  bool first_fired = false;
+  tracker.expect(7, 1, [&](bool, TimePs) { first_fired = true; });
+  // Silent overwrite would orphan the first callback; it must throw instead.
+  EXPECT_THROW(tracker.expect(7, 1, [](bool, TimePs) {}), std::logic_error);
+  EXPECT_TRUE(tracker.pending(7));
+  EXPECT_FALSE(first_fired);  // the original op is untouched
+  // A *completed* tag is free for reuse.
+  tracker.cancel(7);
+  EXPECT_NO_THROW(tracker.expect(7, 1, [](bool, TimePs) {}));
+}
+
+TEST(AckTracker, ReplaceSupersedesPendingOp) {
+  services::AckTracker tracker;
+  sim::Simulator sim;
+  net::Network net(sim);
+  storage::Target mem(sim);
+  rdma::Nic nic(sim, net, mem);
+  tracker.install(nic);
+
+  tracker.expect(8, 1, [](bool, TimePs) { FAIL() << "replaced op completed"; });
+  bool done = false;
+  tracker.replace(8, 1, [&](bool, TimePs) { done = true; });
+  EXPECT_EQ(tracker.replaced_ops(), 1u);
+  EXPECT_EQ(tracker.pending_count(), 1u);
+
+  net::Packet ack;
+  ack.opcode = net::Opcode::kAck;
+  ack.user_tag = 8;
+  nic.on_packet(std::move(ack));
+  EXPECT_TRUE(done);
+
+  // replace() on a free tag is just expect().
+  tracker.replace(9, 1, [](bool, TimePs) {});
+  EXPECT_EQ(tracker.replaced_ops(), 1u);
+  EXPECT_TRUE(tracker.pending(9));
+}
+
+TEST(AckTracker, TakeHandsBackTheCallback) {
+  services::AckTracker tracker;
+  bool fired = false;
+  tracker.expect(4, 2, [&](bool ok, TimePs) { fired = !ok; });
+  auto cb = tracker.take(4);
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_FALSE(tracker.pending(4));
+  (*cb)(false, 0);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(tracker.take(4).has_value());
 }
 
 TEST(Client, GreqIdsGloballyUnique) {
@@ -297,6 +357,37 @@ TEST(Client, GreqIdsGloballyUnique) {
     ids.insert(c1.next_greq());
   }
   EXPECT_EQ(ids.size(), 200u);
+}
+
+TEST(Client, GreqSequenceWrapsWithoutBleedingIntoClientId) {
+  // Regression: the sequence counter is 64-bit, so after 2^32 requests the
+  // unmasked `(id << 32) | seq` bled into the client-id bits — client 1's
+  // greq collided with client 2's greq 0. The sequence must wrap back to 1
+  // (skipping 0) with the id bits intact.
+  ClusterConfig cfg;
+  cfg.clients = 2;
+  Cluster cluster(cfg);
+  services::Client c0(cluster, 0), c1(cluster, 1);
+
+  c0.debug_set_next_seq(0xFFFFFFFFull);
+  const auto last = c0.next_greq();
+  EXPECT_EQ(last >> 32, c0.client_id());
+  EXPECT_EQ(last & 0xFFFFFFFFull, 0xFFFFFFFFull);
+
+  const auto wrapped = c0.next_greq();  // sequence would be 2^32
+  EXPECT_EQ(wrapped >> 32, c0.client_id());  // high bits untouched
+  EXPECT_EQ(wrapped & 0xFFFFFFFFull, 1u);    // explicit wrap, 0 skipped
+  // The old unmasked increment produced (c0_id + 1) << 32 here — a greq
+  // belonging to client-id space c0_id + 1.
+  EXPECT_NE(wrapped >> 32, c0.client_id() + 1);
+  // And even past the boundary, ids from the two clients stay disjoint.
+  std::set<std::uint64_t> ids;
+  c1.debug_set_next_seq(1);
+  for (int i = 0; i < 16; ++i) {
+    ids.insert(c0.next_greq());
+    ids.insert(c1.next_greq());
+  }
+  EXPECT_EQ(ids.size(), 32u);
 }
 
 TEST(Client, AcksForMatchesPolicy) {

@@ -59,6 +59,10 @@ TEST(Recovery, DegradedReadWithNoFailures) {
   rig.cluster->sim().run();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, rig.data);
+  // No op raced its deadline and no ack went astray on the healthy path.
+  EXPECT_EQ(rig.client->tracker().late_acks(), 0u);
+  EXPECT_EQ(rig.client->tracker().stray_nacks(), 0u);
+  EXPECT_EQ(rig.client->tracker().pending_count(), 0u);
 }
 
 TEST(Recovery, DegradedReadSurvivesMaxFailures) {
@@ -126,6 +130,9 @@ TEST(Recovery, RebuildRestoresFullRedundancy) {
   rig.cluster->sim().run();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, rig.data);
+  EXPECT_EQ(rig.client->tracker().late_acks(), 0u);
+  EXPECT_EQ(rig.client->tracker().stray_nacks(), 0u);
+  EXPECT_EQ(rig.client->tracker().pending_count(), 0u);
 }
 
 TEST(Recovery, RebuildWithNoFailuresIsNoOp) {
