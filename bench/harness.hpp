@@ -55,6 +55,7 @@ inline Measurement measure_write(const ClusterConfig& ccfg, const FilePolicy& po
     m.latency_ns = to_ns(at);
   });
   cluster.sim().run();
+  MetricsAccumulator::instance().add(cluster.metrics().snapshot());
   return m;
 }
 
@@ -111,6 +112,7 @@ inline GoodputResult measure_goodput(ClusterConfig ccfg, const FilePolicy& polic
     }
   }
   cluster.sim().run();
+  MetricsAccumulator::instance().add(cluster.metrics().snapshot());
 
   auto& pspin = cluster.storage_node(0).pspin();
   GoodputResult r;

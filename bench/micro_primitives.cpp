@@ -22,6 +22,10 @@
 #include "dfs/wire.hpp"
 #include "ec/gf256.hpp"
 #include "ec/reed_solomon.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span.hpp"
+#include "services/client.hpp"
+#include "services/cluster.hpp"
 #include "sim/calendar_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -465,6 +469,150 @@ void run_gf256_sweep() {
   report.finish(/*threads=*/1, points);  // serial on purpose: clean timings
 }
 
+// --------------------------------- observability overhead sweep (PR 5)
+//
+// The same fig09-style goodput incast (ring k=4, saturating clients) run
+// bare vs fully instrumented (span tracer on every layer + a 5 us
+// timeseries sampler). Both variants drive the simulation with the same
+// bounded-horizon loop so wall-clock is apples-to-apples; simulated
+// observables must match exactly (instrumentation is read-only), and the
+// relative wall-clock cost is the metrics-overhead figure the PR 5
+// acceptance gate reads (< 5%). Writes BENCH_obs_overhead.json.
+
+struct ObsRun {
+  double wall_ms = 0;
+  double gbit = 0;
+  std::uint64_t last_end_ps = 0;
+  std::size_t spans = 0;
+  std::size_t samples = 0;
+};
+
+enum class ObsVariant { kBare, kMetrics, kFull };
+
+ObsRun run_obs_goodput(ObsVariant variant, std::size_t size, unsigned n_clients,
+                       unsigned per_client) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  services::ClusterConfig cfg;
+  cfg.storage_nodes = 4;
+  cfg.clients = n_clients;
+  services::FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kReplication;
+  policy.strategy = dfs::ReplStrategy::kRing;
+  policy.repl_k = 4;
+
+  services::Cluster cluster(cfg);
+  obs::SpanTracer tracer;
+  obs::Sampler sampler(cluster.sim());
+  if (variant == ObsVariant::kFull) {
+    cluster.set_tracer(&tracer);
+    auto& pspin = cluster.storage_node(0).pspin();
+    sampler.add_probe("busy_hpus",
+                      [&] { return static_cast<double>(pspin.busy_hpus(cluster.sim().now())); });
+    sampler.add_probe("egress_in_flight", [&] {
+      return static_cast<double>(pspin.egress_in_flight(cluster.sim().now()));
+    });
+    sampler.start(us(5));
+  }
+
+  std::vector<std::unique_ptr<services::Client>> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<services::Client>(cluster, c));
+  }
+  const unsigned total = n_clients * per_client;
+  unsigned completions = 0;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    for (unsigned w = 0; w < per_client; ++w) {
+      const auto& layout = cluster.metadata().create(
+          "obs" + std::to_string(c) + "_" + std::to_string(w), size, policy);
+      const auto cap =
+          cluster.metadata().grant(clients[c]->client_id(), layout, auth::Right::kWrite);
+      clients[c]->write(layout, cap, random_bytes(size, c * 1000 + w),
+                        [&completions](bool, TimePs) { ++completions; });
+    }
+  }
+  // Bounded-horizon drive (a running sampler keeps the queue non-empty, so
+  // a plain run() would never return); same loop for both variants.
+  for (unsigned spin = 0; completions < total && spin < 100000; ++spin) {
+    cluster.sim().run_until(cluster.sim().now() + us(50));
+  }
+  sampler.stop();
+  cluster.sim().run();  // drain stragglers + the final no-op tick
+
+  ObsRun r;
+  if (completions != total) {
+    std::fprintf(stderr, "FATAL: obs-overhead workload stalled (%u/%u completions)\n",
+                 completions, total);
+    std::exit(1);
+  }
+  auto& pspin = cluster.storage_node(0).pspin();
+  r.last_end_ps = pspin.last_handler_end();
+  if (r.last_end_ps > 0) {
+    r.gbit = static_cast<double>(pspin.payload_bytes_processed()) * 8.0 /
+             (static_cast<double>(r.last_end_ps) / 1e12) / 1e9;
+  }
+  r.spans = tracer.spans().size();
+  r.samples = sampler.rows().size();
+  if (variant != ObsVariant::kBare) {
+    bench::MetricsAccumulator::instance().add(cluster.metrics().snapshot());
+  }
+  r.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return r;
+}
+
+void run_obs_overhead_sweep() {
+  bench::SweepReport report("obs_overhead");
+  std::printf("\nobservability overhead: instrumented vs bare goodput incast\n");
+  std::printf("%-14s %10s %12s %10s %10s\n", "variant", "wall_ms", "goodput_Gb", "spans",
+              "samples");
+
+  const std::size_t size = 16 * KiB;
+  const unsigned clients = 4, per_client = 96, reps = 5;
+  ObsRun best[3];
+  for (auto& r : best) r.wall_ms = 1e18;
+  for (unsigned i = 0; i < reps; ++i) {
+    for (const auto v : {ObsVariant::kBare, ObsVariant::kMetrics, ObsVariant::kFull}) {
+      const auto r = run_obs_goodput(v, size, clients, per_client);
+      auto& b = best[static_cast<int>(v)];
+      if (r.wall_ms < b.wall_ms) b = r;
+    }
+  }
+  const ObsRun& bare = best[0];
+  const ObsRun& metrics = best[1];
+  const ObsRun& full = best[2];
+
+  if (bare.last_end_ps != metrics.last_end_ps || bare.last_end_ps != full.last_end_ps) {
+    std::fprintf(stderr, "FATAL: instrumentation perturbed the simulation (%llu/%llu/%llu ps)\n",
+                 static_cast<unsigned long long>(bare.last_end_ps),
+                 static_cast<unsigned long long>(metrics.last_end_ps),
+                 static_cast<unsigned long long>(full.last_end_ps));
+    std::exit(1);
+  }
+
+  char csv[160];
+  for (const auto& [name, r] : {std::pair<const char*, const ObsRun&>{"bare", bare},
+                                {"metrics", metrics},
+                                {"full_tracing", full}}) {
+    std::printf("%-14s %10.1f %12.1f %10zu %10zu\n", name, r.wall_ms, r.gbit, r.spans,
+                r.samples);
+    std::snprintf(csv, sizeof csv, "%s,%.3f,%.2f,%zu,%zu", name, r.wall_ms, r.gbit, r.spans,
+                  r.samples);
+    report.add_csv(csv);
+  }
+  const double metrics_pct = (metrics.wall_ms - bare.wall_ms) / bare.wall_ms * 100.0;
+  const double full_pct = (full.wall_ms - bare.wall_ms) / bare.wall_ms * 100.0;
+  std::printf("%-14s %9.1f%%  (metrics+snapshot; acceptance gate < 5%%)\n", "overhead",
+              metrics_pct);
+  std::printf("%-14s %9.1f%%  (spans + 5 us sampler on top)\n", "overhead_full", full_pct);
+  std::printf("goodput identical across variants: %.1f Gb, sim end identical\n", bare.gbit);
+  std::snprintf(csv, sizeof csv, "metrics_overhead_pct,%.2f", metrics_pct);
+  report.add_csv(csv);
+  std::snprintf(csv, sizeof csv, "full_tracing_overhead_pct,%.2f", full_pct);
+  report.add_csv(csv);
+  report.finish(/*threads=*/1, 3);  // serial on purpose: clean timings
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -474,5 +622,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   run_event_queue_sweep();
   run_gf256_sweep();
+  run_obs_overhead_sweep();
   return 0;
 }

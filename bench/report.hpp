@@ -10,12 +10,48 @@
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace nadfs::bench {
+
+/// Process-wide accumulator for per-point cluster metric snapshots
+/// (obs::MetricRegistry::snapshot()). Each sweep point's flat
+/// (name -> value) map is summed in; addition is commutative, so the
+/// totals are independent of thread scheduling and SweepReport::finish can
+/// embed them in BENCH_<name>.json without breaking parallel/serial output
+/// equivalence.
+class MetricsAccumulator {
+ public:
+  static MetricsAccumulator& instance() {
+    static MetricsAccumulator acc;
+    return acc;
+  }
+
+  void add(const std::map<std::string, long long>& snapshot) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, value] : snapshot) sums_[name] += value;
+    ++snapshots_;
+  }
+
+  std::map<std::string, long long> totals() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return sums_;
+  }
+
+  std::size_t snapshots() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return snapshots_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, long long> sums_;
+  std::size_t snapshots_ = 0;
+};
 
 /// Executes independent sweep points on a thread pool with ordered result
 /// collection. Each point must be self-contained — it builds its own
@@ -108,7 +144,17 @@ class SweepReport {
     for (std::size_t i = 0; i < csv_.size(); ++i) {
       std::fprintf(f, "%s\n    \"%s\"", i ? "," : "", json_escape(csv_[i]).c_str());
     }
-    std::fprintf(f, "%s]\n}\n", csv_.empty() ? "" : "\n  ");
+    std::fprintf(f, "%s],\n", csv_.empty() ? "" : "\n  ");
+    // Summed cluster-metric snapshots across every measured point (empty
+    // object when the bench never harvested a cluster).
+    const auto& acc = MetricsAccumulator::instance();
+    const auto totals = acc.totals();
+    std::fprintf(f, "  \"metric_snapshots\": %zu,\n  \"metrics\": {", acc.snapshots());
+    std::size_t i = 0;
+    for (const auto& [metric, value] : totals) {
+      std::fprintf(f, "%s\n    \"%s\": %lld", i++ ? "," : "", json_escape(metric).c_str(), value);
+    }
+    std::fprintf(f, "%s}\n}\n", totals.empty() ? "" : "\n  ");
     std::fclose(f);
     std::printf("JSON: %s\n", path.c_str());
   }

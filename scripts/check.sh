@@ -56,3 +56,38 @@ for seed in 1 7; do
   NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -R 'Chaos|ClientTimeout|FaultPlan|FaultNet|FailureDetector'
 done
+
+# Observability gate: the trace-enabled kill-mid-EC-write chaos scenario
+# (examples/chaos_trace) self-validates its span correlation and state-GC
+# drain, then the exported artifacts must parse — the Perfetto trace and
+# the metric snapshot as strict JSON, the timeseries as non-empty CSV.
+echo "== trace-enabled chaos scenario + artifact validation"
+OBS_DIR="$BUILD_DIR/obs-artifacts"
+mkdir -p "$OBS_DIR"
+(cd "$OBS_DIR" && "../examples/chaos_trace")
+python3 - "$OBS_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+for f in ("chaos_trace.json", "chaos_trace_metrics.json"):
+    with open(os.path.join(d, f)) as fh:
+        doc = json.load(fh)
+    if f == "chaos_trace.json":
+        assert doc["traceEvents"], "empty traceEvents"
+    else:
+        assert doc, "empty metric snapshot"
+with open(os.path.join(d, "chaos_trace_timeseries.csv")) as fh:
+    rows = fh.read().strip().splitlines()
+assert len(rows) > 1 and rows[0].startswith("t_ns,"), "bad timeseries CSV"
+print(f"obs artifacts OK: {len(rows)-1} samples, trace + metrics parse")
+EOF
+
+# The obs compile-out gate must stay buildable: with NADFS_OBS=OFF the
+# span/sampler hooks compile to nothing and the obs suites must still pass
+# (digest-neutrality holds trivially). Configure-only tree, obs suites run.
+echo "== NADFS_OBS=OFF build + obs/trace/determinism suites"
+cmake -B build-noobs -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNADFS_WERROR=ON \
+  -DNADFS_OBS=OFF > /dev/null
+cmake --build build-noobs -j "$(nproc)" --target test_obs test_trace test_determinism
+ctest --test-dir build-noobs --output-on-failure -R 'Obs|SpanTracer|TraceSink|Determinism'

@@ -70,7 +70,6 @@ void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
     req = parse_request(pkt.data);
   } catch (const std::out_of_range&) {
     st.denied.insert(key);
-    ++st.auth_failures;
     ++st.malformed_requests;
     return;  // malformed: drop silently (no client coordinates to NACK)
   }
@@ -240,6 +239,7 @@ void payload_ec_parity(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt, Re
   const DfsState::AggKey akey{entry.greq_id, pkt.seq};
   auto [it, fresh] = st.agg.try_emplace(akey);
   DfsState::AggEntry& agg = it->second;
+  agg.last = ctx.now_ps();  // GC TTL anchor: any contribution counts as activity
   if (fresh) {
     if (auto acc = st.pool.alloc(payload.size())) {
       agg.acc = *acc;
@@ -370,7 +370,9 @@ void completion_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
     // One intermediate-parity stream finished; the write is acked once all
     // ec_k streams contributed (the final parity DMAs are then issued).
     ctx.charge(cost::kEcChInstr, cost::kEcChCycles);
-    if (++st.parity_msgs_done[entry.greq_id] == entry.ec_k) {
+    auto& prog = st.parity_msgs_done[entry.greq_id];
+    prog.last = ctx.now_ps();
+    if (++prog.done == entry.ec_k) {
       st.parity_msgs_done.erase(entry.greq_id);
       ctx.storage_fence();
       ++st.acks_sent;

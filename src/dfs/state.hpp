@@ -7,10 +7,12 @@
 // multiplication table, the parity accumulator pool, and the shared key.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "auth/capability.hpp"
 #include "common/units.hpp"
@@ -18,6 +20,7 @@
 #include "dfs/wire.hpp"
 #include "ec/gf256.hpp"
 #include "ec/reed_solomon.hpp"
+#include "obs/metrics.hpp"
 #include "spin/handler.hpp"
 
 namespace nadfs::dfs {
@@ -105,14 +108,19 @@ struct DfsState {
     std::uint32_t acc = 0;       ///< accumulator index
     std::uint8_t contributions = 0;
     bool fallback = false;       ///< pool was empty: host aggregates
+    TimePs last = 0;             ///< last contribution time (GC TTL anchor)
   };
   std::unordered_map<AggKey, AggEntry, AggKeyHash> agg;
   /// Fallback aggregation buffers living in host memory (pool exhausted):
   /// the host software XORs contributions the handlers bounce to it.
   std::unordered_map<AggKey, Bytes, AggKeyHash> host_agg;
   /// Completed intermediate-parity messages per greq (parity role): the ack
-  /// goes out when all ec_k streams finished.
-  std::unordered_map<std::uint64_t, std::uint32_t> parity_msgs_done;
+  /// goes out when all ec_k streams finished. `last` anchors the GC TTL.
+  struct ParityProgress {
+    std::uint32_t done = 0;
+    TimePs last = 0;
+  };
+  std::unordered_map<std::uint64_t, ParityProgress> parity_msgs_done;
 
   /// RS codec cache by (k << 8 | m).
   const ec::ReedSolomon& codec(unsigned k, unsigned m) {
@@ -122,18 +130,85 @@ struct DfsState {
   }
 
   // ---- counters surfaced to tests/benches ----
-  std::uint64_t auth_failures = 0;
+  // obs::Counter cells: increment/read like the raw uint64s they replaced;
+  // bind_metrics exposes them through the registry.
+  obs::Counter auth_failures;   ///< capability verification failed (MAC/expiry)
   /// Requests whose headers failed to parse (e.g. corrupted on the wire).
-  /// Also booked under auth_failures, which historically covered both.
-  std::uint64_t malformed_requests = 0;
-  std::uint64_t table_denials = 0;
-  std::uint64_t acks_sent = 0;
-  std::uint64_t nacks_sent = 0;
-  std::uint64_t cleanups = 0;
-  std::uint64_t agg_fallbacks = 0;
+  /// Disjoint from auth_failures: a request books exactly one of the two.
+  obs::Counter malformed_requests;
+  obs::Counter table_denials;
+  obs::Counter acks_sent;
+  obs::Counter nacks_sent;
+  obs::Counter cleanups;
+  obs::Counter agg_fallbacks;
+  /// Aggregation-state entries reaped by gc() (wedged-stream reaper).
+  obs::Counter reaped_requests;
 
   /// NIC memory the execution context declares at install time.
   std::size_t state_bytes() const { return cfg.req_table_bytes + cfg.dfs_wide_bytes; }
+
+  /// Storage-side TTL reaper (ROADMAP follow-up: state wedged by mid-chain
+  /// drops). Device-level cleanup (PsPinDevice + cleanup_handler) reaps
+  /// `requests` entries because it owns their table slots; what it cannot
+  /// see is *cross-message* aggregation state on parity nodes — when a
+  /// data node dies mid-chain, fewer than ec_k streams contribute, and the
+  /// per-seq accumulators (pool slots!), host fallback buffers and the
+  /// per-greq stream progress stay wedged forever. gc() drops every such
+  /// entry untouched for `ttl`, releasing pool accumulators, and returns
+  /// the number of entries reaped (also accumulated in reaped_requests).
+  std::uint64_t gc(TimePs now, TimePs ttl) {
+    std::uint64_t reaped = 0;
+    // Collect keys first and erase in sorted order so the reap sequence
+    // (and thus the pool free-list order) never depends on hash iteration.
+    std::vector<AggKey> stale;
+    for (const auto& [key, entry] : agg) {
+      if (entry.last + ttl <= now) stale.push_back(key);
+    }
+    std::sort(stale.begin(), stale.end(), [](const AggKey& a, const AggKey& b) {
+      return a.greq != b.greq ? a.greq < b.greq : a.seq < b.seq;
+    });
+    for (const AggKey& key : stale) {
+      auto it = agg.find(key);
+      if (it->second.fallback) {
+        host_agg.erase(key);
+      } else {
+        pool.release(it->second.acc);
+      }
+      agg.erase(it);
+      ++reaped;
+    }
+    std::vector<std::uint64_t> stale_greqs;
+    for (const auto& [greq, prog] : parity_msgs_done) {
+      if (prog.last + ttl <= now) stale_greqs.push_back(greq);
+    }
+    std::sort(stale_greqs.begin(), stale_greqs.end());
+    for (std::uint64_t greq : stale_greqs) {
+      parity_msgs_done.erase(greq);
+      ++reaped;
+    }
+    reaped_requests += reaped;
+    return reaped;
+  }
+
+  /// Register the DFS counters and table/pool occupancy gauges under
+  /// `prefix` ("node3.dfs").
+  void bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    reg.counter(prefix + ".auth_failures", auth_failures);
+    reg.counter(prefix + ".malformed_requests", malformed_requests);
+    reg.counter(prefix + ".table_denials", table_denials);
+    reg.counter(prefix + ".acks_sent", acks_sent);
+    reg.counter(prefix + ".nacks_sent", nacks_sent);
+    reg.counter(prefix + ".cleanups", cleanups);
+    reg.counter(prefix + ".agg_fallbacks", agg_fallbacks);
+    reg.counter(prefix + ".reaped_requests", reaped_requests);
+    reg.gauge(prefix + ".table_in_use", [this] { return static_cast<long long>(table.in_use()); });
+    reg.gauge(prefix + ".table_high_water",
+              [this] { return static_cast<long long>(table.high_water()); });
+    reg.gauge(prefix + ".pool_in_use", [this] { return static_cast<long long>(pool.in_use()); });
+    reg.gauge(prefix + ".live_requests",
+              [this] { return static_cast<long long>(requests.size()); });
+    reg.gauge(prefix + ".agg_entries", [this] { return static_cast<long long>(agg.size()); });
+  }
 
  private:
   std::unordered_map<unsigned, std::unique_ptr<ec::ReedSolomon>> codecs_;

@@ -26,6 +26,7 @@
 
 #include "common/units.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace nadfs::net {
 
@@ -33,13 +34,16 @@ namespace nadfs::net {
 inline constexpr TimePs kNeverPs = ~TimePs{0};
 
 /// Per-fault-point counters, owned by the Network and reset when a plan is
-/// installed. Chaos tests print these on failure.
+/// installed. Chaos tests print these on failure. The cells are
+/// obs::Counter so Network::bind_metrics can expose them through the
+/// registry; call sites read/increment them exactly like the raw uint64s
+/// they replace.
 struct FaultCounters {
-  std::uint64_t tx_drops = 0;      ///< source dead / source link down at injection
-  std::uint64_t rx_drops = 0;      ///< destination dead / link down at the switch
-  std::uint64_t random_drops = 0;  ///< seeded-rate drops
-  std::uint64_t duplicates = 0;    ///< extra deliveries scheduled
-  std::uint64_t corruptions = 0;   ///< payload bytes flipped
+  obs::Counter tx_drops;      ///< source dead / source link down at injection
+  obs::Counter rx_drops;      ///< destination dead / link down at the switch
+  obs::Counter random_drops;  ///< seeded-rate drops
+  obs::Counter duplicates;    ///< extra deliveries scheduled
+  obs::Counter corruptions;   ///< payload bytes flipped
 
   std::uint64_t total_dropped() const { return tx_drops + rx_drops + random_drops; }
 };

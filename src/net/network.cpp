@@ -19,6 +19,12 @@ const char* opcode_name(Opcode op) {
   return "?";
 }
 
+namespace {
+
+std::uint64_t corr_of(const Packet& p) { return p.user_tag != 0 ? p.user_tag : p.msg_id; }
+
+}  // namespace
+
 Network::Network(sim::Simulator& simulator, NetworkConfig config)
     : sim_(simulator), config_(config) {}
 
@@ -48,11 +54,17 @@ sim::Window Network::inject(Packet pkt, TimePs earliest) {
     const TimePs t = std::max(earliest, sim_.now());
     if (!plan_.reachable(pkt.src, t)) {
       ++fault_counters_.tx_drops;
+      if (obs::kObsEnabled && tracer_)
+        tracer_->record({pkt.src, obs::kLaneUplink, "net", "tx_drop", corr_of(pkt), pkt.msg_id,
+                         pkt.seq, pkt.data.size(), t, t});
       return sim::Window{t, t};
     }
   }
 
   const auto up = src.uplink->reserve(wire, earliest);
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({pkt.src, obs::kLaneUplink, "net", opcode_name(pkt.opcode), corr_of(pkt),
+                     pkt.msg_id, pkt.seq, pkt.data.size(), up.start, up.end});
   // The packet is fully received at the switch input at up.end + link
   // latency. The downlink is reserved *at that moment* (not eagerly at
   // injection time), so packets from different sources interleave on a
@@ -66,10 +78,16 @@ sim::Window Network::inject(Packet pkt, TimePs earliest) {
       // the RNG draw sequence is a pure function of (plan, traffic).
       if (!plan_.reachable(p.dst, sim_.now())) {
         ++fault_counters_.rx_drops;
+        if (obs::kObsEnabled && tracer_)
+          tracer_->record({p.dst, obs::kLaneDownlink, "net", "rx_drop", corr_of(p), p.msg_id,
+                           p.seq, p.data.size(), sim_.now(), sim_.now()});
         return;
       }
       if (plan_.drop_rate() > 0 && fault_rng_.next_double() < plan_.drop_rate()) {
         ++fault_counters_.random_drops;
+        if (obs::kObsEnabled && tracer_)
+          tracer_->record({p.dst, obs::kLaneDownlink, "net", "random_drop", corr_of(p), p.msg_id,
+                           p.seq, p.data.size(), sim_.now(), sim_.now()});
         return;
       }
       if (plan_.corrupt_rate() > 0 && fault_rng_.next_double() < plan_.corrupt_rate() &&
@@ -91,6 +109,9 @@ sim::Window Network::inject(Packet pkt, TimePs earliest) {
 void Network::deliver(NodePort* dstp, std::size_t wire, Packet&& pkt) {
   const auto down = dstp->downlink->reserve(wire);
   const TimePs arrival = down.end + config_.link_latency;
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({pkt.dst, obs::kLaneDownlink, "net", opcode_name(pkt.opcode), corr_of(pkt),
+                     pkt.msg_id, pkt.seq, pkt.data.size(), down.start, arrival});
   auto* sink = dstp->sink;
   auto* delivered = &dstp->delivered_payload;
   const std::size_t payload = pkt.data.size();
@@ -118,6 +139,18 @@ TimePs Network::uplink_free_at(NodeId node) const {
 
 std::uint64_t Network::delivered_payload_bytes(NodeId node) const {
   return nodes_.at(node).delivered_payload;
+}
+
+void Network::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + ".faults.tx_drops", fault_counters_.tx_drops);
+  reg.counter(prefix + ".faults.rx_drops", fault_counters_.rx_drops);
+  reg.counter(prefix + ".faults.random_drops", fault_counters_.random_drops);
+  reg.counter(prefix + ".faults.duplicates", fault_counters_.duplicates);
+  reg.counter(prefix + ".faults.corruptions", fault_counters_.corruptions);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    reg.counter_cell(prefix + ".node" + std::to_string(i) + ".delivered_bytes",
+                     &nodes_[i].delivered_payload);
+  }
 }
 
 }  // namespace nadfs::net

@@ -16,6 +16,8 @@
 #include "common/rng.hpp"
 #include "net/fault.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -66,6 +68,17 @@ class Network {
   bool faults_armed() const { return faults_armed_; }
   const FaultCounters& fault_counters() const { return fault_counters_; }
 
+  /// Attach a span tracer: every uplink/downlink hop (and every fault
+  /// drop) is recorded as a span correlated by Packet::user_tag (the
+  /// client greq) or msg_id. nullptr detaches. Pure recording — attaching
+  /// never changes event order or digests.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+
+  /// Register the fault counters and per-node delivered-bytes cells under
+  /// `prefix` ("net" -> "net.faults.tx_drops", "net.node3.delivered_bytes").
+  void bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) const;
+
  private:
   struct NodePort {
     PacketSink* sink;
@@ -86,6 +99,7 @@ class Network {
   FaultPlan plan_;
   FaultCounters fault_counters_;
   Rng fault_rng_{1};
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace nadfs::net

@@ -1,0 +1,49 @@
+// Minimal strict JSON reader used to validate the observability exporters
+// (Perfetto trace JSON, registry snapshots, sampler dumps) without external
+// dependencies. Parses the full grammar (RFC 8259) into a small DOM; it is
+// a test/tooling aid, not a hot-path component.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nadfs::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed, nothing
+/// else). On failure returns nullopt and, if `error` is non-null, stores a
+/// short message with the byte offset.
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
+
+/// True iff `text` is a valid JSON document.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Parse a flat `{"name": integer, ...}` object — the shape
+/// MetricRegistry::export_json emits. Returns nullopt if the document is
+/// not an object or any member is not an integral number.
+std::optional<std::map<std::string, long long>> parse_flat_object(std::string_view text,
+                                                                  std::string* error = nullptr);
+
+}  // namespace nadfs::obs

@@ -1,0 +1,145 @@
+// Observability: metric instruments + hierarchical registry.
+//
+// Design rules (see DESIGN.md §3c):
+//  - Instruments are *intrusive*: obs::Counter wraps the owning struct's
+//    uint64 cell in place, so existing call sites (`++c`, `c += n`, printf
+//    casts, EXPECT_EQ against integers) compile unchanged and the legacy
+//    accessor APIs stay valid as thin views over the same cells.
+//  - The registry never owns values; it holds (name -> pointer/functor)
+//    views registered at wiring time. Nothing on the simulation hot path
+//    touches the registry, so attaching it cannot perturb event order,
+//    RNG draws, or digests (digest-neutrality).
+//  - With NADFS_OBS_DISABLED defined (cmake -DNADFS_OBS=OFF) the optional
+//    instruments (histograms, span/sampler hooks) compile to nothing;
+//    plain counters are the pre-existing domain counters and stay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nadfs::obs {
+
+#if defined(NADFS_OBS_DISABLED)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// Monotonic counter. Drop-in replacement for a `std::uint64_t` struct
+/// member: increments, compound adds, and implicit reads all behave like
+/// the raw integer did.
+class Counter {
+ public:
+  constexpr Counter() = default;
+  constexpr Counter(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    v_ += n;
+    return *this;
+  }
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr operator std::uint64_t() const { return v_; }  // NOLINT
+
+  const std::uint64_t* cell() const { return &v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Histogram over simulated durations (picoseconds). Buckets are
+/// power-of-two nanoseconds: bucket k counts durations with
+/// floor(log2(max(ns,1))) == k. Recording is a handful of integer ops and
+/// allocates nothing, so it is safe on completion paths; under
+/// NADFS_OBS_DISABLED it compiles to a no-op.
+class SimTimeHist {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t dur_ps) {
+    if constexpr (!kObsEnabled) {
+      (void)dur_ps;
+      return;
+    }
+    ++count_;
+    sum_ps_ += dur_ps;
+    if (count_ == 1 || dur_ps < min_ps_) min_ps_ = dur_ps;
+    if (dur_ps > max_ps_) max_ps_ = dur_ps;
+    ++buckets_[bucket_of(dur_ps)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ps() const { return sum_ps_; }
+  std::uint64_t min_ps() const { return count_ ? min_ps_ : 0; }
+  std::uint64_t max_ps() const { return max_ps_; }
+  std::uint64_t bucket(std::size_t k) const { return k < kBuckets ? buckets_[k] : 0; }
+
+  /// Bucket index for a duration: floor(log2(max(ns,1))), clamped.
+  static std::size_t bucket_of(std::uint64_t dur_ps) {
+    std::uint64_t ns = dur_ps / 1000;
+    if (ns == 0) return 0;
+    std::size_t k = 0;
+    while (ns >>= 1) ++k;
+    return k < kBuckets ? k : kBuckets - 1;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ps_ = 0;
+  std::uint64_t min_ps_ = 0;
+  std::uint64_t max_ps_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// Central name -> instrument view. Names are hierarchical dotted paths
+/// ("node3.dfs.acks_sent"); snapshots iterate in sorted name order so
+/// exports are deterministic. Registering is wiring-time work; sampling
+/// reads the live cells.
+class MetricRegistry {
+ public:
+  /// Register a counter cell (an obs::Counter member).
+  void counter(std::string name, const Counter& c) { counter_cell(std::move(name), c.cell()); }
+  /// Register a raw uint64 counter cell (legacy private members exposed
+  /// through accessors keep their type; the registry views the cell).
+  void counter_cell(std::string name, const std::uint64_t* cell);
+  /// Register a polled gauge (queue depth, pool occupancy, ...).
+  void gauge(std::string name, std::function<long long()> fn);
+  /// Register a sim-time histogram; flattened into `.count`, `.sum_ps`,
+  /// `.min_ps`, `.max_ps` and nonzero `.b<k>` entries in snapshots.
+  void histogram(std::string name, const SimTimeHist& h);
+
+  /// Drop every instrument whose name starts with `prefix` — used when a
+  /// bound component (a Client, an uninstalled DFS service) goes away
+  /// before the registry does.
+  void remove_prefix(std::string_view prefix);
+
+  /// Flat, sorted (name -> integer) view of every instrument right now.
+  std::map<std::string, long long> snapshot() const;
+
+  /// Snapshot as a flat JSON object, one `"name": value` pair per line,
+  /// sorted by name. Round-trips exactly through obs::parse_flat_object.
+  void export_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHist } kind;
+    const std::uint64_t* cell = nullptr;
+    std::function<long long()> fn;
+    const SimTimeHist* hist = nullptr;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nadfs::obs

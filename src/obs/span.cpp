@@ -1,0 +1,79 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace nadfs::obs {
+
+std::vector<Span> SpanTracer::spans_for(std::uint64_t corr) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.corr == corr) out.push_back(s);
+  }
+  return out;
+}
+
+void SpanTracer::set_node_label(std::uint32_t node, std::string label) {
+  labels_[node] = std::move(label);
+}
+
+std::string SpanTracer::lane_name(std::uint32_t lane) {
+  switch (lane) {
+    case kLaneClientOp: return "client-op";
+    case kLaneNicDma: return "nic-dma";
+    case kLaneUplink: return "uplink";
+    case kLaneDownlink: return "downlink";
+    case kLaneEgress: return "egress";
+    case kLaneAck: return "ack";
+    default:
+      return "hpu c" + std::to_string(lane / 1000) + "/" + std::to_string(lane % 1000);
+  }
+}
+
+void SpanTracer::export_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  // Metadata: name every process (node) and thread (lane) that appears.
+  std::set<std::uint32_t> nodes;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  for (const Span& s : spans_) {
+    nodes.insert(s.node);
+    lanes.insert({s.node, s.lane});
+  }
+  for (std::uint32_t node : nodes) {
+    auto it = labels_.find(node);
+    const std::string label = it != labels_.end() ? it->second : "node" + std::to_string(node);
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+       << ",\"tid\":0,\"args\":{\"name\":\"" << label << "\"}}";
+  }
+  for (const auto& [node, lane] : lanes) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << node << ",\"tid\":" << lane
+       << ",\"args\":{\"name\":\"" << lane_name(lane) << "\"}}";
+  }
+
+  const auto us = [](std::uint64_t ps) { return static_cast<double>(ps) / 1e6; };
+  for (const Span& s : spans_) {
+    sep();
+    os << "{\"name\":\"" << s.name << "\",\"cat\":\"" << s.cat << "\",\"ph\":\"X\",\"ts\":"
+       << us(s.start_ps) << ",\"dur\":" << us(s.end_ps - s.start_ps) << ",\"pid\":" << s.node
+       << ",\"tid\":" << s.lane << ",\"args\":{\"corr\":" << s.corr << ",\"msg\":" << s.msg
+       << ",\"seq\":" << s.seq << ",\"val\":" << s.val << "}}";
+  }
+  os << (first ? "]}" : "\n]}");
+}
+
+std::string SpanTracer::to_chrome_json() const {
+  std::ostringstream os;
+  export_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace nadfs::obs

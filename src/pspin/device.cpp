@@ -147,11 +147,16 @@ TimePs PsPinDevice::run_handler(spin::HandlerType type, const spin::Handler& han
   *it = end;
   stats_.record(type, end - start, ctx.instr());
   last_handler_end_ = std::max(last_handler_end_, end);
+  const auto hpu = static_cast<unsigned>(std::distance(cluster_hpus.begin(), it));
   if (trace_) {
-    trace_->record(TraceRecord{
-        nic_->node_id(), msg.cluster,
-        static_cast<unsigned>(std::distance(cluster_hpus.begin(), it)), type, pkt.msg_id,
-        pkt.seq, ctx.instr(), start, end});
+    trace_->record(TraceRecord{nic_->node_id(), msg.cluster, hpu, type, pkt.msg_id, pkt.seq,
+                               ctx.instr(), start, end});
+  }
+  if (obs::kObsEnabled && span_trace_) {
+    span_trace_->record({nic_->node_id(), msg.cluster * 1000 + hpu, "handler",
+                         spin::handler_type_name(type),
+                         pkt.user_tag != 0 ? pkt.user_tag : pkt.msg_id, pkt.msg_id, pkt.seq,
+                         ctx.instr(), start, end});
   }
   return end;
 }
@@ -255,10 +260,50 @@ void PsPinDevice::run_cleanup(const spin::MessageKey& key) {
   spin::HandlerCtx ctx(nic_->node_id(), start, msg.flow_slot);
   ctx_->cleanup_handler(ctx, key);
   const TimePs end = replay(ctx, msg, msg.cluster, start);
+  if (obs::kObsEnabled && span_trace_) {
+    span_trace_->record({nic_->node_id(),
+                         msg.cluster * 1000 +
+                             static_cast<unsigned>(std::distance(cluster_hpus.begin(), hpu)),
+                         "handler", "cleanup", key.msg_id, key.msg_id, 0, ctx.instr(), start,
+                         end});
+  }
   *hpu = end;
   last_handler_end_ = std::max(last_handler_end_, end);
   ++cleanup_runs_;
   messages_.erase(it);
+}
+
+unsigned PsPinDevice::busy_hpus(TimePs t) const {
+  unsigned busy = 0;
+  for (const auto& cluster : hpu_free_) {
+    for (TimePs free_at : cluster) {
+      if (free_at > t) ++busy;
+    }
+  }
+  return busy;
+}
+
+unsigned PsPinDevice::egress_in_flight(TimePs t) const {
+  unsigned n = 0;
+  for (const auto& s : egress_slots_) {
+    if (s.issue <= t && s.end > t) ++n;
+  }
+  return n;
+}
+
+void PsPinDevice::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+  reg.counter_cell(prefix + ".payload_bytes_done", &payload_bytes_done_);
+  reg.counter_cell(prefix + ".cleanup_runs", &cleanup_runs_);
+  reg.gauge(prefix + ".live_messages",
+            [this] { return static_cast<long long>(messages_.size()); });
+  reg.gauge(prefix + ".busy_hpus", [this] { return static_cast<long long>(busy_hpus(sim_.now())); });
+  reg.gauge(prefix + ".egress_in_flight",
+            [this] { return static_cast<long long>(egress_in_flight(sim_.now())); });
+  reg.gauge(prefix + ".egress_credits", [this] {
+    const unsigned used = egress_in_flight(sim_.now());
+    return static_cast<long long>(config_.egress_queue_depth -
+                                  std::min(config_.egress_queue_depth, used));
+  });
 }
 
 }  // namespace nadfs::pspin

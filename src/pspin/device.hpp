@@ -33,6 +33,8 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pspin/trace.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -109,6 +111,21 @@ class PsPinDevice {
   /// Attach a trace sink recording every handler invocation (timeline
   /// observability; export via TraceSink::export_chrome_json).
   void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Attach a cross-layer span tracer: handler invocations (and cleanup
+  /// runs) are recorded as spans on lane cluster*1000+hpu, correlated by
+  /// Packet::user_tag (greq) or msg_id, alongside the other layers' spans.
+  /// Coexists with set_trace; both are pure recording.
+  void set_span_tracer(obs::SpanTracer* tracer) { span_trace_ = tracer; }
+
+  /// Register device counters/gauges under `prefix` ("node3.pspin").
+  void bind_metrics(obs::MetricRegistry& reg, const std::string& prefix);
+
+  /// HPUs busy at `t` (free-time horizon still in the future) — sampler
+  /// probe for occupancy timeseries.
+  unsigned busy_hpus(TimePs t) const;
+  /// Egress command-queue slots occupied at `t` (issued, not yet drained).
+  unsigned egress_in_flight(TimePs t) const;
 
   /// Goodput accounting: payload bytes whose payload handler has completed,
   /// and the time the last one completed.
@@ -188,6 +205,7 @@ class PsPinDevice {
 
   HandlerStats stats_;
   TraceSink* trace_ = nullptr;
+  obs::SpanTracer* span_trace_ = nullptr;
   std::uint64_t payload_bytes_done_ = 0;
   TimePs last_handler_end_ = 0;
   std::uint64_t cleanup_runs_ = 0;

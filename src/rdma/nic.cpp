@@ -71,12 +71,18 @@ void Nic::post_write(net::NodeId dst, std::uint64_t raddr, std::uint32_t rkey, B
   const std::uint64_t msg_id = alloc_msg_id();
   pending_writes_[msg_id] = std::move(cb);
   auto pkts = packetize_write(dst, raddr, rkey, data, msg_id, user_tag);
+  const std::uint64_t total = data.size();
   const TimePs t0 = sim_.now() + config_.doorbell_latency;
+  TimePs dma_end = t0;
   for (auto& p : pkts) {
     // NIC fetches each packet's payload from host memory before injecting.
     const auto w = pcie_.reserve(p.data.size(), t0);
-    net_.inject(std::move(p), w.end + config_.pcie_latency);
+    dma_end = w.end + config_.pcie_latency;
+    net_.inject(std::move(p), dma_end);
   }
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({id_, obs::kLaneNicDma, "dma", "post_write",
+                     user_tag != 0 ? user_tag : msg_id, msg_id, 0, total, sim_.now(), dma_end});
 }
 
 void Nic::post_read(net::NodeId dst, std::uint64_t raddr, std::uint32_t rkey, std::uint32_t len,
@@ -112,12 +118,21 @@ void Nic::post_send(net::NodeId dst, std::uint64_t tag, Bytes data) {
 }
 
 void Nic::post_message(std::vector<net::Packet> pkts) {
+  const std::uint64_t corr = pkts.empty() ? 0 : pkts.front().user_tag;
+  const std::uint64_t msg = pkts.empty() ? 0 : pkts.front().msg_id;
   const TimePs t0 = sim_.now() + config_.doorbell_latency;
+  TimePs dma_end = t0;
+  std::uint64_t total = 0;
   for (auto& p : pkts) {
     p.src = id_;
+    total += p.data.size();
     const auto w = pcie_.reserve(p.data.size(), t0);
-    net_.inject(std::move(p), w.end + config_.pcie_latency);
+    dma_end = w.end + config_.pcie_latency;
+    net_.inject(std::move(p), dma_end);
   }
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({id_, obs::kLaneNicDma, "dma", "post_message", corr != 0 ? corr : msg, msg, 0,
+                     total, sim_.now(), dma_end});
 }
 
 void Nic::post_triggered_write(TriggeredWrite trigger) { triggers_.push_back(trigger); }
@@ -148,12 +163,36 @@ bool Nic::cancel_read(std::uint64_t tag) { return pending_reads_.erase(tag) != 0
 
 sim::Window Nic::egress_send(net::Packet pkt, TimePs ready) {
   pkt.src = id_;
-  return net_.inject(std::move(pkt), ready);
+  const std::uint64_t corr = pkt.user_tag != 0 ? pkt.user_tag : pkt.msg_id;
+  const std::uint64_t msg = pkt.msg_id;
+  const std::uint32_t seq = pkt.seq;
+  const std::uint64_t bytes = pkt.data.size();
+  const char* name = net::opcode_name(pkt.opcode);
+  const auto w = net_.inject(std::move(pkt), ready);
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({id_, obs::kLaneEgress, "egress", name, corr, msg, seq, bytes, ready, w.end});
+  return w;
 }
 
 TimePs Nic::dma_to_storage(std::uint64_t addr, Bytes data, TimePs ready) {
+  const std::uint64_t bytes = data.size();
   const auto w = pcie_.reserve(data.size(), ready);
-  return memory_.write(addr, data, w.end + config_.pcie_latency);
+  const TimePs durable = memory_.write(addr, data, w.end + config_.pcie_latency);
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({id_, obs::kLaneNicDma, "dma", "dma_to_storage", 0, 0, 0, bytes, w.start,
+                     durable});
+  return durable;
+}
+
+void Nic::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+  reg.counter_cell(prefix + ".late_read_packets", &late_read_packets_);
+  reg.counter_cell(prefix + ".steered_to_host", &steered_to_host_);
+  reg.gauge(prefix + ".pending_reads",
+            [this] { return static_cast<long long>(pending_reads_.size()); });
+  reg.gauge(prefix + ".pending_writes",
+            [this] { return static_cast<long long>(pending_writes_.size()); });
+  reg.gauge(prefix + ".armed_triggers",
+            [this] { return static_cast<long long>(triggers_.size()); });
 }
 
 std::pair<Bytes, TimePs> Nic::dma_from_storage(std::uint64_t addr, std::size_t len,
@@ -254,6 +293,10 @@ void Nic::on_packet(net::Packet&& pkt) {
     }
     case net::Opcode::kAck:
     case net::Opcode::kNack:
+      if (obs::kObsEnabled && tracer_)
+        tracer_->record({id_, obs::kLaneAck, "ack",
+                         pkt.opcode == net::Opcode::kAck ? "ack" : "nack", pkt.user_tag,
+                         pkt.msg_id, pkt.seq, 0, sim_.now(), sim_.now()});
       if (control_handler_) control_handler_(pkt, sim_.now());
       return;
   }

@@ -25,6 +25,8 @@
 #include "common/bytes.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pspin/device.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -168,6 +170,13 @@ class Nic : public net::PacketSink, public spin::NicServices {
   /// Allocate a fresh message id (unique per source node).
   std::uint64_t alloc_msg_id() { return next_msg_id_++; }
 
+  /// Attach a span tracer: doorbell/PCIe ingress DMA, egress commands and
+  /// received acks are recorded as spans (pure recording, digest-neutral).
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
+  /// Register NIC counters/gauges under `prefix` ("node3.nic").
+  void bind_metrics(obs::MetricRegistry& reg, const std::string& prefix);
+
   /// Split `data` into MTU-sized kRdmaWrite packets toward (dst, raddr).
   std::vector<net::Packet> packetize_write(net::NodeId dst, std::uint64_t raddr,
                                            std::uint32_t rkey, ByteSpan data,
@@ -233,6 +242,7 @@ class Nic : public net::PacketSink, public spin::NicServices {
   ControlHandler control_handler_;
   WriteNotify write_notify_;
   HostEventHandler host_event_handler_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace nadfs::rdma

@@ -54,8 +54,36 @@ std::optional<DoneCb> AckTracker::take(std::uint64_t tag) {
 Client::Client(Cluster& cluster, std::size_t client_idx)
     : cluster_(cluster),
       node_(cluster.client(client_idx)),
-      client_id_(cluster.management().register_client()) {
+      client_id_(cluster.management().register_client()),
+      metrics_prefix_("client" + std::to_string(client_id_)) {
   tracker_.install(node_.nic());
+  auto& reg = cluster_.metrics();
+  reg.counter_cell(metrics_prefix_ + ".retries_performed", &retries_performed_);
+  reg.counter_cell(metrics_prefix_ + ".deny_retries", &deny_retries_);
+  reg.counter_cell(metrics_prefix_ + ".timeout_retries", &timeout_retries_);
+  reg.counter_cell(metrics_prefix_ + ".op_timeouts", &op_timeouts_);
+  reg.counter_cell(metrics_prefix_ + ".late_acks", &tracker_.late_acks_);
+  reg.counter_cell(metrics_prefix_ + ".stray_nacks", &tracker_.stray_nacks_);
+  reg.counter_cell(metrics_prefix_ + ".replaced_ops", &tracker_.replaced_ops_);
+  reg.gauge(metrics_prefix_ + ".pending_ops",
+            [this] { return static_cast<long long>(tracker_.pending_count()); });
+  reg.histogram(metrics_prefix_ + ".write_latency", write_latency_);
+  reg.histogram(metrics_prefix_ + ".read_latency", read_latency_);
+}
+
+Client::~Client() { cluster_.metrics().remove_prefix(metrics_prefix_); }
+
+void Client::note_op(const char* name, const char* failed_name, bool ok, std::uint64_t greq,
+                     TimePs issued, TimePs at, obs::SimTimeHist& hist) {
+  if constexpr (!obs::kObsEnabled) {
+    (void)name, (void)failed_name, (void)ok, (void)greq, (void)issued, (void)at, (void)hist;
+    return;
+  }
+  if (auto* tracer = cluster_.tracer()) {
+    tracer->record({node_.id(), obs::kLaneClientOp, "op", ok ? name : failed_name, greq, greq, 0,
+                    0, issued, at});
+  }
+  if (ok) hist.record(at - issued);
 }
 
 unsigned Client::acks_for(const FileLayout& layout) {
@@ -182,8 +210,10 @@ DoneCb Client::make_write_completion(std::uint64_t greq, DoneCb cb, unsigned att
   // the request, e.g. request table full — paper §III-B.2) or a deadline
   // expiry (arm_write_deadline left a marker in timed_out_). Both back off
   // and reissue, booked under the matching retry counter.
-  return [this, greq, cb = std::move(cb), attempts_left,
+  const TimePs issued = cluster_.sim().now();
+  return [this, greq, issued, cb = std::move(cb), attempts_left,
           reissue = std::move(reissue)](bool ok, TimePs at) mutable {
+    note_op("write", "write_failed", ok, greq, issued, at, write_latency_);
     const bool timed_out = timed_out_.erase(greq) != 0;
     if (ok || attempts_left == 0) {
       cb(ok, at);
@@ -356,13 +386,15 @@ void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, st
     throw std::invalid_argument("Client::start_read: zero-length read");
   }
   const std::uint64_t greq = next_greq();
+  const TimePs issued = cluster_.sim().now();
   if (timeout_ != 0) {
     // Deadline: if the NIC still holds the pending read, cancel it (any
     // straggler response packets then count as late) and retry under a
     // fresh greq, or give up with an empty buffer.
     cluster_.sim().schedule(timeout_, [this, coord, cap, len, cb, attempts_left,
-                                       greq]() mutable {
+                                       greq, issued]() mutable {
       if (!node_.nic().cancel_read(greq)) return;  // answered in time
+      note_op("read", "read_failed", false, greq, issued, cluster_.sim().now(), read_latency_);
       ++op_timeouts_;
       if (attempts_left == 0) {
         cb(Bytes{}, cluster_.sim().now());
@@ -377,9 +409,12 @@ void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, st
           });
     });
   }
-  node_.nic().expect_read_response(greq, len, [cb = std::move(cb)](Bytes data, TimePs at) {
-    cb(std::move(data), at);
-  });
+  node_.nic().expect_read_response(greq, len,
+                                   [this, greq, issued, cb = std::move(cb)](Bytes data, TimePs at) {
+                                     note_op("read", "read_failed", !data.empty(), greq, issued,
+                                             at, read_latency_);
+                                     cb(std::move(data), at);
+                                   });
   dfs::DfsHeader hdr;
   hdr.op = dfs::OpType::kRead;
   hdr.greq_id = greq;

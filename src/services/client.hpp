@@ -59,6 +59,8 @@ class AckTracker {
     unsigned got = 0;
     DoneCb cb;
   };
+  friend class Client;  // bind_metrics registers the counter cells
+
   std::unordered_map<std::uint64_t, Op> ops_;
   std::uint64_t late_acks_ = 0;
   std::uint64_t stray_nacks_ = 0;
@@ -67,7 +69,13 @@ class AckTracker {
 
 class Client {
  public:
+  /// Registers the client's counters and op-latency histograms in the
+  /// cluster registry under "client<id>"; the destructor removes them
+  /// (clients routinely die before the cluster).
   Client(Cluster& cluster, std::size_t client_idx);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   std::uint64_t client_id() const { return client_id_; }
   ClientNode& node() { return node_; }
@@ -152,6 +160,10 @@ class Client {
   /// aggregation-sequence lifetimes.
   void set_ec_interleaving(bool on) { ec_interleave_ = on; }
 
+  /// Per-attempt op latency (issue -> completion, successes only).
+  const obs::SimTimeHist& write_latency() const { return write_latency_; }
+  const obs::SimTimeHist& read_latency() const { return read_latency_; }
+
  private:
   void write_plain(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
                    Bytes data, std::uint64_t greq);
@@ -176,6 +188,10 @@ class Client {
   void striped_read(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
                     std::uint32_t len, std::function<void(Bytes, TimePs)> cb);
 
+  /// Op-attempt span + latency sample; `name`/`failed_name` are static.
+  void note_op(const char* name, const char* failed_name, bool ok, std::uint64_t greq,
+               TimePs issued, TimePs at, obs::SimTimeHist& hist);
+
   Cluster& cluster_;
   ClientNode& node_;
   AckTracker tracker_;
@@ -193,6 +209,9 @@ class Client {
   // greqs that failed via deadline expiry rather than NACK; consulted (and
   // erased) by the completion to attribute the retry to the right counter.
   std::unordered_set<std::uint64_t> timed_out_;
+  obs::SimTimeHist write_latency_;
+  obs::SimTimeHist read_latency_;
+  std::string metrics_prefix_;
 };
 
 /// Interleave k packet trains packet-by-packet (paper §VI-B.1: interleaved

@@ -7,10 +7,12 @@ namespace nadfs::services {
 StorageNode::StorageNode(sim::Simulator& simulator, net::Network& network,
                          const storage::TargetConfig& tcfg, const rdma::NicConfig& ncfg,
                          const host::CpuConfig& ccfg, const pspin::PsPinConfig& pcfg)
-    : target_(std::make_unique<storage::Target>(simulator, tcfg)),
+    : sim_(simulator),
+      target_(std::make_unique<storage::Target>(simulator, tcfg)),
       nic_(std::make_unique<rdma::Nic>(simulator, network, *target_, ncfg)),
       cpu_(std::make_unique<host::Cpu>(simulator, ccfg)),
-      pspin_(std::make_unique<pspin::PsPinDevice>(simulator, pcfg)) {
+      pspin_(std::make_unique<pspin::PsPinDevice>(simulator, pcfg)),
+      state_gc_(simulator) {
   nic_->attach_pspin(*pspin_);
   nic_->set_host_event_handler([this](std::uint64_t code, std::uint64_t arg, TimePs at) {
     host_events_.push_back(HostEventRecord{code, arg, at});
@@ -23,12 +25,37 @@ void StorageNode::install_dfs(dfs::DfsConfig cfg) {
   if (!pspin_->install(dfs::make_dfs_context(dfs_state_))) {
     throw std::runtime_error("StorageNode::install_dfs: DFS state exceeds NIC memory");
   }
+  if (metrics_) dfs_state_->bind_metrics(*metrics_, metrics_prefix_ + ".dfs");
 }
 
 void StorageNode::uninstall_dfs() {
   pspin_->uninstall();
+  if (metrics_) metrics_->remove_prefix(metrics_prefix_ + ".dfs");
   dfs_state_.reset();
 }
+
+void StorageNode::bind_metrics(obs::MetricRegistry& reg, std::string prefix) {
+  metrics_ = &reg;
+  metrics_prefix_ = std::move(prefix);
+  nic_->bind_metrics(reg, metrics_prefix_ + ".nic");
+  pspin_->bind_metrics(reg, metrics_prefix_ + ".pspin");
+  reg.gauge(metrics_prefix_ + ".host_events",
+            [this] { return static_cast<long long>(host_events_.size()); });
+  if (dfs_state_) dfs_state_->bind_metrics(reg, metrics_prefix_ + ".dfs");
+}
+
+void StorageNode::set_tracer(obs::SpanTracer* tracer) {
+  nic_->set_tracer(tracer);
+  pspin_->set_span_tracer(tracer);
+}
+
+void StorageNode::start_state_gc(TimePs interval, TimePs ttl) {
+  state_gc_.start(interval, [this, ttl] {
+    if (dfs_state_) dfs_state_->gc(sim_.now(), ttl);
+  });
+}
+
+void StorageNode::stop_state_gc() { state_gc_.stop(); }
 
 ClientNode::ClientNode(sim::Simulator& simulator, net::Network& network,
                        const rdma::NicConfig& ncfg, const host::CpuConfig& ccfg)
@@ -53,9 +80,34 @@ Cluster::Cluster(ClusterConfig config) : cfg_(config) {
   mgmt_ = std::make_unique<ManagementService>(cfg_.dfs.key);
   meta_ = std::make_unique<MetadataService>(*mgmt_, storage_ids);
 
+  network_->bind_metrics(metrics_, "net");
+  for (auto& node : storage_) node->bind_metrics(metrics_, "node" + std::to_string(node->id()));
+  for (auto& node : clients_) node->bind_metrics(metrics_, "node" + std::to_string(node->id()));
+
   if (cfg_.install_dfs) {
     for (auto& node : storage_) node->install_dfs(cfg_.dfs);
   }
+}
+
+void Cluster::set_tracer(obs::SpanTracer* tracer) {
+  tracer_ = tracer;
+  network_->set_tracer(tracer);
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    storage_[i]->set_tracer(tracer);
+    if (tracer) tracer->set_node_label(storage_[i]->id(), "storage" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->set_tracer(tracer);
+    if (tracer) tracer->set_node_label(clients_[i]->id(), "client" + std::to_string(i));
+  }
+}
+
+void Cluster::start_state_gc(TimePs interval, TimePs ttl) {
+  for (auto& node : storage_) node->start_state_gc(interval, ttl);
+}
+
+void Cluster::stop_state_gc() {
+  for (auto& node : storage_) node->stop_state_gc();
 }
 
 StorageNode& Cluster::storage_by_node(net::NodeId id) {

@@ -14,9 +14,12 @@
 #include "dfs/state.hpp"
 #include "host/cpu.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pspin/device.hpp"
 #include "rdma/nic.hpp"
 #include "services/metadata.hpp"
+#include "sim/periodic.hpp"
 #include "sim/simulator.hpp"
 #include "storage/target.hpp"
 
@@ -48,13 +51,36 @@ class StorageNode {
   dfs::DfsState* dfs_state() { return dfs_state_.get(); }
   const std::vector<HostEventRecord>& host_events() const { return host_events_; }
 
+  /// Register this node's NIC/PsPIN/DFS instruments under `prefix`
+  /// ("node3"). Remembered so install_dfs/uninstall_dfs keep the DFS
+  /// entries in sync when the execution context is swapped.
+  void bind_metrics(obs::MetricRegistry& reg, std::string prefix);
+  /// Fan a span tracer out to the NIC and PsPIN device.
+  void set_tracer(obs::SpanTracer* tracer);
+
+  /// Registry this node is bound into (nullptr before bind_metrics) and
+  /// its prefix — host-side services hang their own instruments off these.
+  obs::MetricRegistry* metrics() { return metrics_; }
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
+
+  /// Periodic storage-side state GC (DfsState::gc): reaps aggregation
+  /// state wedged by mid-chain drops after `ttl` of inactivity. Must be
+  /// stopped (or the node destroyed) before expecting the event queue to
+  /// drain — see sim::Periodic.
+  void start_state_gc(TimePs interval, TimePs ttl);
+  void stop_state_gc();
+
  private:
+  sim::Simulator& sim_;
   std::unique_ptr<storage::Target> target_;
   std::unique_ptr<rdma::Nic> nic_;
   std::unique_ptr<host::Cpu> cpu_;
   std::unique_ptr<pspin::PsPinDevice> pspin_;
   std::shared_ptr<dfs::DfsState> dfs_state_;
   std::vector<HostEventRecord> host_events_;
+  sim::Periodic state_gc_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_;
 };
 
 class ClientNode {
@@ -66,6 +92,11 @@ class ClientNode {
   storage::Target& ram() { return *ram_; }
   rdma::Nic& nic() { return *nic_; }
   host::Cpu& cpu() { return *cpu_; }
+
+  void bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    nic_->bind_metrics(reg, prefix + ".nic");
+  }
+  void set_tracer(obs::SpanTracer* tracer) { nic_->set_tracer(tracer); }
 
  private:
   std::unique_ptr<storage::Target> ram_;
@@ -107,14 +138,34 @@ class Cluster {
 
   const ClusterConfig& config() const { return cfg_; }
 
+  /// Cluster-wide metric registry. Every node's counters/gauges are bound
+  /// at construction under "node<id>.*" (plus "net.*"); services bind
+  /// their own entries as they are created. Snapshot with
+  /// metrics().to_json() / snapshot().
+  obs::MetricRegistry& metrics() { return metrics_; }
+
+  /// Attach (or detach, with nullptr) a cross-layer span tracer: fans out
+  /// to the network, every NIC and every PsPIN device, and labels the
+  /// nodes. Digest-neutral — see DESIGN.md §3c.
+  void set_tracer(obs::SpanTracer* tracer);
+  obs::SpanTracer* tracer() const { return tracer_; }
+
+  /// Start/stop the storage-side state GC on every storage node.
+  void start_state_gc(TimePs interval, TimePs ttl);
+  void stop_state_gc();
+
  private:
   ClusterConfig cfg_;
+  // Declared before the nodes: bound instruments point into node-owned
+  // cells, so the registry must be constructed first / destroyed last.
+  obs::MetricRegistry metrics_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<StorageNode>> storage_;
   std::vector<std::unique_ptr<ClientNode>> clients_;
   std::unique_ptr<ManagementService> mgmt_;
   std::unique_ptr<MetadataService> meta_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace nadfs::services

@@ -22,7 +22,15 @@ FailureDetector::FailureDetector(Cluster& cluster, Client& prober, FailureDetect
     ns.id = cluster_.storage_node(i).id();
     nodes_.push_back(ns);
   }
+  metrics_prefix_ = "failure_detector.c" + std::to_string(prober_.client_id());
+  auto& reg = cluster_.metrics();
+  reg.counter_cell(metrics_prefix_ + ".probes_sent", &probes_sent_);
+  reg.counter_cell(metrics_prefix_ + ".probes_missed", &probes_missed_);
+  reg.gauge(metrics_prefix_ + ".failed_nodes",
+            [this] { return static_cast<long long>(failed_.size()); });
 }
+
+FailureDetector::~FailureDetector() { cluster_.metrics().remove_prefix(metrics_prefix_); }
 
 void FailureDetector::start() {
   ticker_.start(cfg_.probe_interval, [this] { tick(); });

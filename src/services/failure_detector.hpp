@@ -40,6 +40,9 @@ class FailureDetector {
   /// timeout/retry policy are owned by the detector; sharing it with a
   /// workload client would fight over both).
   FailureDetector(Cluster& cluster, Client& prober, FailureDetectorConfig cfg = {});
+  ~FailureDetector();
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
 
   /// Start/stop the heartbeat loop. stop() lets the simulation drain.
   void start();
@@ -86,6 +89,7 @@ class FailureDetector {
   sim::Periodic ticker_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_missed_ = 0;
+  std::string metrics_prefix_;
 };
 
 }  // namespace nadfs::services

@@ -8,6 +8,19 @@ HostDfsService::HostDfsService(StorageNode& node, dfs::DfsConfig cfg)
       [this](net::NodeId src, std::uint64_t msg_id, Bytes request, TimePs at) {
         handle(src, msg_id, std::move(request), at);
       });
+  if (auto* reg = node_.metrics()) {
+    metrics_prefix_ = node_.metrics_prefix() + ".hostdfs";
+    reg->counter_cell(metrics_prefix_ + ".requests_handled", &handled_);
+    reg->counter_cell(metrics_prefix_ + ".validation_failures", &failures_);
+    reg->gauge(metrics_prefix_ + ".parity_aggs",
+               [this] { return static_cast<long long>(parity_.size()); });
+  }
+}
+
+HostDfsService::~HostDfsService() {
+  if (auto* reg = node_.metrics(); reg && !metrics_prefix_.empty()) {
+    reg->remove_prefix(metrics_prefix_);
+  }
 }
 
 void HostDfsService::handle(net::NodeId src, std::uint64_t msg_id, Bytes request, TimePs at) {

@@ -28,6 +28,9 @@ class HostDfsService {
   /// Installs itself as `node`'s DFS-request handler. `cfg` supplies the
   /// shared key and MTU (normally the cluster's dfs config).
   HostDfsService(StorageNode& node, dfs::DfsConfig cfg);
+  ~HostDfsService();
+  HostDfsService(const HostDfsService&) = delete;
+  HostDfsService& operator=(const HostDfsService&) = delete;
 
   std::uint64_t requests_handled() const { return handled_; }
   std::uint64_t validation_failures() const { return failures_; }
@@ -43,6 +46,7 @@ class HostDfsService {
   auth::CapabilityAuthority authority_;
   std::uint64_t handled_ = 0;
   std::uint64_t failures_ = 0;
+  std::string metrics_prefix_;
 
   /// Host-side parity aggregation state (EC parity role), keyed by greq.
   struct ParityAgg {

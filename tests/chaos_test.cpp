@@ -522,9 +522,8 @@ std::uint64_t run_corruption_storm(std::uint64_t seed) {
     malformed += cluster.storage_node(n).dfs_state()->malformed_requests;
     auth_failures += cluster.storage_node(n).dfs_state()->auth_failures;
   }
-  // Parse failures are booked under both counters (back-compat), so the
-  // malformed count can never exceed the auth-failure count.
-  EXPECT_LE(malformed, auth_failures);
+  // Disjoint books: corrupted bytes either break parsing (malformed) or
+  // land in a field the MAC covers (auth failure), never both at once.
   d.u64(malformed);
   d.u64(auth_failures);
   d.u64(cluster.sim().executed_events());
@@ -535,6 +534,91 @@ std::uint64_t run_corruption_storm(std::uint64_t seed) {
 TEST(Chaos, CorruptionStormIsDeterministicAndCounted) {
   const std::uint64_t seed = chaos_seed();
   EXPECT_EQ(run_corruption_storm(seed), run_corruption_storm(seed));
+}
+
+TEST(Chaos, WedgedAggregationStateIsReapedByStateGc) {
+  // Kill a data node mid-EC-write: the parity nodes' per-seq accumulators
+  // (pool slots), fallback buffers and per-greq stream progress wait for a
+  // contribution that will never arrive. Device-level cleanup cannot touch
+  // them — only the storage-side TTL reaper (DfsState::gc) can, and after
+  // it runs the wedged ring must be fully drained: pool empty, tables
+  // empty, and the reap booked under reaped_requests.
+  const std::uint64_t seed = chaos_seed();
+  ClusterConfig cfg;
+  cfg.storage_nodes = 7;
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+  const std::size_t size = 48000;
+  const auto& layout = cluster.metadata().create("obj", size, policy);
+  const auto cap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kWrite);
+
+  Rng jitter(seed);
+  net::FaultPlan plan;
+  plan.set_seed(seed);
+  const net::NodeId victim = layout.targets[0].node;
+  const TimePs kill_at = ns(200) + jitter.next_below(us(1));
+  plan.kill_node(victim, kill_at);
+  cluster.network().install_faults(plan);
+
+  writer.set_timeout(us(30));
+  bool done = false, ok = true;
+  writer.write(layout, cap, random_bytes(size, 42), [&](bool o, TimePs) {
+    done = true;
+    ok = o;
+  });
+  cluster.sim().run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+
+  // Quiesced with no GC: the parity nodes are wedged — live aggregation
+  // entries holding pool accumulators that nothing will ever release.
+  std::size_t wedged_entries = 0, wedged_accs = 0;
+  for (const auto& coord : layout.parity) {
+    auto* st = cluster.storage_by_node(coord.node).dfs_state();
+    wedged_entries += st->agg.size() + st->parity_msgs_done.size();
+    wedged_accs += st->pool.in_use();
+  }
+  EXPECT_GT(wedged_entries, 0u);
+  EXPECT_GT(wedged_accs, 0u);
+
+  // Run the reaper past the TTL; the queue must drain (the Periodic is
+  // stopped) and every wedged entry must be gone.
+  cluster.start_state_gc(/*interval=*/us(50), /*ttl=*/us(100));
+  cluster.sim().run_until(cluster.sim().now() + us(500));
+  cluster.stop_state_gc();
+  cluster.sim().run();
+
+  std::uint64_t reaped = 0;
+  for (std::size_t n = 0; n < cluster.storage_node_count(); ++n) {
+    auto* st = cluster.storage_node(n).dfs_state();
+    EXPECT_EQ(st->agg.size(), 0u);
+    EXPECT_EQ(st->host_agg.size(), 0u);
+    EXPECT_EQ(st->parity_msgs_done.size(), 0u);
+    EXPECT_EQ(st->pool.in_use(), 0u);
+    reaped += st->reaped_requests;
+  }
+  EXPECT_GE(reaped, wedged_entries);
+
+  // The drained node is reusable: a fresh EC write against the surviving
+  // placement succeeds with pool slots recycled from the reap.
+  services::FilePolicy fresh = policy;
+  const auto& layout2 = cluster.metadata().create("obj2", size, fresh);
+  bool retry_ok = false;
+  bool usable = true;
+  for (const auto& t : layout2.targets) usable &= t.node != victim;
+  for (const auto& p : layout2.parity) usable &= p.node != victim;
+  if (usable) {
+    const auto cap2 = cluster.metadata().grant(writer.client_id(), layout2, auth::Right::kWrite);
+    writer.set_timeout(0);
+    writer.write(layout2, cap2, random_bytes(size, 43), [&](bool o, TimePs) { retry_ok = o; });
+    cluster.sim().run();
+    EXPECT_TRUE(retry_ok);
+  }
 }
 
 }  // namespace

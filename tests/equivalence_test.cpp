@@ -214,7 +214,10 @@ TEST(WireFuzz, MalformedFirstPacketIsDroppedByHandlers) {
   cluster.sim().run();
 
   EXPECT_EQ(node.dfs_state()->table.in_use(), 0u);
-  EXPECT_EQ(node.dfs_state()->auth_failures, 1u);
+  // A parse failure is malformed, not an auth failure: the two counters
+  // are disjoint (the capability was never even reached).
+  EXPECT_EQ(node.dfs_state()->malformed_requests, 1u);
+  EXPECT_EQ(node.dfs_state()->auth_failures, 0u);
   EXPECT_EQ(node.target().bytes_written(), 0u);
 }
 
