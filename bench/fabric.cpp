@@ -1,0 +1,148 @@
+// Fabric bench: incast goodput and ECMP load spread on leaf/spine
+// topologies of increasing size.
+//
+// Each point builds a raw Network on leaf_spine(L, S) with 4 nodes per
+// leaf, then drives a many-to-one incast at one destination node: every
+// other node bursts a fixed message count at it. Goodput is delivered
+// payload over the makespan (last arrival); the finite per-port buffer
+// tail-drops what the destination downlink and the spine->leaf trunks
+// cannot absorb, so delivered/offered < 1 is the congestion signal. ECMP
+// spread is read off the per-spine forwarded counters: min/max share of
+// cross-leaf packets over the spines (1.0 = perfectly even).
+//
+// Rows are mirrored into BENCH_fabric.json, with the per-switch and fault
+// counters folded through MetricsAccumulator.
+#include "bench/harness.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+namespace {
+
+struct Counting : net::PacketSink {
+  sim::Simulator* sim = nullptr;
+  std::uint64_t pkts = 0;
+  TimePs last_arrival = 0;
+  void on_packet(net::Packet&&) override {
+    ++pkts;
+    last_arrival = sim->now();
+  }
+};
+
+struct Row {
+  unsigned leaves = 0, spines = 0;
+  std::uint64_t offered = 0;    // packets injected
+  std::uint64_t delivered = 0;  // packets that survived the incast
+  std::uint64_t buffer_drops = 0;
+  double goodput_gbps = 0.0;
+  double spread_min = 0.0, spread_max = 0.0;  // per-spine share of cross-leaf pkts
+};
+
+constexpr std::size_t kPayload = 1 * KiB;
+constexpr unsigned kMsgsPerSource = 64;
+constexpr unsigned kNodesPerLeaf = 4;
+
+Row run_point(unsigned leaves, unsigned spines) {
+  Row r;
+  r.leaves = leaves;
+  r.spines = spines;
+
+  sim::Simulator sim;
+  net::NetworkConfig ncfg;
+  ncfg.topology = net::Topology::leaf_spine(leaves, spines);
+  net::Network net(sim, ncfg);
+  obs::MetricRegistry reg;
+  net.bind_metrics(reg, "net");
+
+  const unsigned nodes = leaves * kNodesPerLeaf;
+  std::vector<std::unique_ptr<Counting>> sinks;
+  sinks.reserve(nodes);
+  for (unsigned i = 0; i < nodes; ++i) {
+    sinks.push_back(std::make_unique<Counting>());
+    sinks.back()->sim = &sim;
+    net.add_node(*sinks.back());
+  }
+
+  // Incast target on leaf 1; every other node bursts at it.
+  const net::NodeId dst = 1;
+  std::uint64_t msg = 0;
+  for (unsigned src = 0; src < nodes; ++src) {
+    if (src == dst) continue;
+    for (unsigned m = 0; m < kMsgsPerSource; ++m) {
+      net::Packet p;
+      p.src = src;
+      p.dst = dst;
+      p.opcode = net::Opcode::kSend;
+      p.msg_id = ++msg;
+      p.data = Bytes(kPayload, static_cast<std::uint8_t>(src));
+      r.offered += 1;
+      net.inject(std::move(p));
+    }
+  }
+  sim.run();
+
+  r.delivered = sinks[dst]->pkts;
+  r.buffer_drops = net.fault_counters().buffer_drops;
+  const TimePs makespan = sinks[dst]->last_arrival;
+  if (makespan > 0) {
+    const double bits = static_cast<double>(r.delivered) * kPayload * 8.0;
+    r.goodput_gbps = bits / (static_cast<double>(makespan) / 1e12) / 1e9;
+  }
+
+  // Cross-leaf packets (sources not on dst's leaf) each traverse exactly
+  // one spine; the per-spine forwarded counters partition them.
+  const auto& topo = net.topology();
+  std::uint64_t cross = 0, spine_min = ~0ull, spine_max = 0;
+  for (unsigned s = 0; s < spines; ++s) {
+    const std::uint64_t fwd = net.hop_counters(topo.spine_id(s)).forwarded_pkts;
+    cross += fwd;
+    spine_min = std::min(spine_min, fwd);
+    spine_max = std::max(spine_max, fwd);
+  }
+  if (cross > 0) {
+    const double even = static_cast<double>(cross) / spines;
+    r.spread_min = static_cast<double>(spine_min) / even;
+    r.spread_max = static_cast<double>(spine_max) / even;
+  }
+
+  MetricsAccumulator::instance().add(reg.snapshot());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fabric: incast goodput + ECMP load spread vs leaf/spine size",
+               "multi-switch topologies behind the Network facade (DESIGN.md 1a)");
+
+  struct Size {
+    unsigned leaves, spines;
+  };
+  const std::vector<Size> sizes = {{2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}};
+
+  SweepReport report("fabric");
+  SweepRunner runner;
+  std::vector<std::function<Row()>> points;
+  points.reserve(sizes.size());
+  for (const Size& s : sizes) {
+    points.push_back([s] { return run_point(s.leaves, s.spines); });
+  }
+  const auto rows = runner.run(points);
+
+  std::printf("%12s %9s %10s %10s %12s %16s\n", "topology", "offered", "delivered", "drops",
+              "goodput", "spine spread");
+  char csv[160];
+  for (const Row& r : rows) {
+    std::printf("  %4ux%-4u %9llu %10llu %10llu %9.1f Gb/s   [%.2f, %.2f]\n", r.leaves,
+                r.spines, (unsigned long long)r.offered, (unsigned long long)r.delivered,
+                (unsigned long long)r.buffer_drops, r.goodput_gbps, r.spread_min, r.spread_max);
+    std::snprintf(csv, sizeof csv, "fabric,%u,%u,%llu,%llu,%llu,%.3f,%.3f,%.3f", r.leaves,
+                  r.spines, (unsigned long long)r.offered, (unsigned long long)r.delivered,
+                  (unsigned long long)r.buffer_drops, r.goodput_gbps, r.spread_min,
+                  r.spread_max);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
+  }
+  report.finish(runner.threads(), rows.size());
+  return 0;
+}

@@ -54,7 +54,18 @@ done
 for seed in 1 7; do
   echo "== chaos/fault suites under NADFS_CHAOS_SEED=$seed"
   NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'Chaos|ClientTimeout|FaultPlan|FaultNet|FailureDetector'
+    -R 'Chaos|ClientTimeout|FaultPlan|FaultNet|FailureDetector|Partition'
+done
+
+# Fabric partition chaos under both seeds (also covered by the loop above;
+# this focused rerun exists so a discovery hiccup can never silently skip
+# the split-brain gate), plus the single-switch digest pins: the Topology
+# refactor must keep star runs bit-identical to the PR 5 recordings —
+# Determinism.* carries the pinned digests and fails on any drift.
+for seed in 1 7; do
+  echo "== partition scenario + star digest pins under NADFS_CHAOS_SEED=$seed"
+  NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'Partition|FabricNet|Topology|Determinism'
 done
 
 # Observability gate: the trace-enabled kill-mid-EC-write chaos scenario

@@ -17,6 +17,10 @@
 //                  output port                                -> rx_drops
 //   - switch out:  seeded-rate drop / corrupt / duplicate     -> random_drops,
 //                  corruptions, duplicates
+//   - trunk out:   a packet toward a downed inter-switch link is dropped at
+//                  the switch output port (fabric only)       -> trunk_drops
+//   - trunk out:   a packet overflowing a finite port buffer is tail-dropped
+//                  (fabric only)                              -> buffer_drops
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,7 @@
 
 #include "common/units.hpp"
 #include "net/packet.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 
 namespace nadfs::net {
@@ -44,8 +49,12 @@ struct FaultCounters {
   obs::Counter random_drops;  ///< seeded-rate drops
   obs::Counter duplicates;    ///< extra deliveries scheduled
   obs::Counter corruptions;   ///< payload bytes flipped
+  obs::Counter trunk_drops;   ///< inter-switch link down at the trunk port
+  obs::Counter buffer_drops;  ///< finite switch-port buffer overflowed
 
-  std::uint64_t total_dropped() const { return tx_drops + rx_drops + random_drops; }
+  std::uint64_t total_dropped() const {
+    return tx_drops + rx_drops + random_drops + trunk_drops + buffer_drops;
+  }
 };
 
 class FaultPlan {
@@ -63,8 +72,19 @@ class FaultPlan {
   }
 
   /// The node's access link (both directions) is down in [from, until).
+  /// Windows may be added unsorted and may overlap; a time is down if any
+  /// window covers it.
   void link_down(NodeId node, TimePs from, TimePs until = kNeverPs) {
     down_[node].emplace_back(from, until);
+  }
+
+  /// The inter-switch trunk between switches `a` and `b` (both directions)
+  /// is down in [from, until). Only meaningful on multi-switch topologies;
+  /// cutting every trunk of a leaf — or the only spine's trunk to it —
+  /// creates a true two-sided partition. Same window semantics as
+  /// link_down.
+  void trunk_down(SwitchId a, SwitchId b, TimePs from, TimePs until = kNeverPs) {
+    trunk_down_[trunk_key(a, b)].emplace_back(from, until);
   }
 
   // ---- seeded-rate faults ----------------------------------------------
@@ -96,17 +116,35 @@ class FaultPlan {
     return true;
   }
 
+  bool trunk_up(SwitchId a, SwitchId b, TimePs t) const {
+    auto it = trunk_down_.find(trunk_key(a, b));
+    if (it == trunk_down_.end()) return true;
+    for (const auto& [from, until] : it->second) {
+      if (t >= from && t < until) return false;
+    }
+    return true;
+  }
+
   /// A packet can enter/leave `node`'s port at time `t`.
   bool reachable(NodeId node, TimePs t) const { return node_alive(node, t) && link_up(node, t); }
 
   bool empty() const {
-    return kill_at_.empty() && down_.empty() && drop_rate_ == 0 && duplicate_rate_ == 0 &&
-           corrupt_rate_ == 0;
+    return kill_at_.empty() && down_.empty() && trunk_down_.empty() && drop_rate_ == 0 &&
+           duplicate_rate_ == 0 && corrupt_rate_ == 0;
   }
 
  private:
+  /// Canonical (unordered) switch-pair key: trunks are cut whole, both
+  /// directions at once.
+  static std::uint64_t trunk_key(SwitchId a, SwitchId b) {
+    const SwitchId lo = a < b ? a : b;
+    const SwitchId hi = a < b ? b : a;
+    return static_cast<std::uint64_t>(lo) << 32 | hi;
+  }
+
   std::unordered_map<NodeId, TimePs> kill_at_;
   std::unordered_map<NodeId, std::vector<std::pair<TimePs, TimePs>>> down_;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<TimePs, TimePs>>> trunk_down_;
   double drop_rate_ = 0;
   double duplicate_rate_ = 0;
   double corrupt_rate_ = 0;

@@ -1,0 +1,72 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace nadfs::net {
+
+Topology Topology::leaf_spine(unsigned leaves, unsigned spines) {
+  if (leaves == 0 || spines == 0) {
+    throw std::invalid_argument("Topology::leaf_spine: need >= 1 leaf and >= 1 spine");
+  }
+  Topology t;
+  t.leaves_ = leaves;
+  t.spines_ = spines;
+  // Leaf tables: toward every *other* leaf the ECMP set is every spine (full
+  // bipartite trunking); toward itself the set is empty (local turnaround).
+  t.leaf_routes_.resize(static_cast<std::size_t>(leaves) * leaves);
+  for (unsigned leaf = 0; leaf < leaves; ++leaf) {
+    for (unsigned dst = 0; dst < leaves; ++dst) {
+      if (dst == leaf) continue;
+      auto& set = t.leaf_routes_[static_cast<std::size_t>(leaf) * leaves + dst];
+      set.reserve(spines);
+      for (unsigned s = 0; s < spines; ++s) set.push_back(static_cast<SwitchId>(leaves + s));
+    }
+  }
+  // Spine tables: one trunk per leaf, the next hop toward dst_leaf is
+  // dst_leaf itself.
+  t.spine_routes_.resize(static_cast<std::size_t>(spines) * leaves);
+  for (unsigned s = 0; s < spines; ++s) {
+    for (unsigned dst = 0; dst < leaves; ++dst) {
+      t.spine_routes_[static_cast<std::size_t>(s) * leaves + dst] = static_cast<SwitchId>(dst);
+    }
+  }
+  return t;
+}
+
+const std::vector<SwitchId>& Topology::next_hops(SwitchId leaf, SwitchId dst_leaf) const {
+  if (single_switch() || leaf >= leaves_ || dst_leaf >= leaves_) {
+    throw std::out_of_range("Topology::next_hops: not a leaf switch");
+  }
+  return leaf_routes_[static_cast<std::size_t>(leaf) * leaves_ + dst_leaf];
+}
+
+SwitchId Topology::spine_next_hop(SwitchId spine, SwitchId dst_leaf) const {
+  if (!is_spine(spine) || dst_leaf >= leaves_) {
+    throw std::out_of_range("Topology::spine_next_hop: not a spine/leaf pair");
+  }
+  return spine_routes_[static_cast<std::size_t>(spine - leaves_) * leaves_ + dst_leaf];
+}
+
+std::uint64_t Topology::ecmp_hash(NodeId src, NodeId dst, std::uint64_t msg_id) {
+  // splitmix64 finalizer over the packed flow key. All constants are the
+  // published splitmix64 ones; the msg_id is folded in with a golden-ratio
+  // multiply so consecutive message ids land on unrelated hashes.
+  std::uint64_t x = (static_cast<std::uint64_t>(src) << 32 | dst) ^
+                    (msg_id * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+SwitchId Topology::spine_for(NodeId src, NodeId dst, std::uint64_t msg_id) const {
+  const auto& set = next_hops(leaf_of(src), leaf_of(dst));
+  if (set.empty()) {
+    throw std::logic_error("Topology::spine_for: src and dst share a leaf");
+  }
+  return set[ecmp_hash(src, dst, msg_id) % set.size()];
+}
+
+}  // namespace nadfs::net

@@ -1,0 +1,85 @@
+// Switch-level topology behind the Network facade.
+//
+// The paper's SST configuration is a single output-queued switch (the
+// "star" every figure was recorded on); this class generalizes it to a
+// 2-tier leaf/spine fabric without touching the Network API. A Topology
+// describes the switches, how nodes attach to leaves, and the per-switch
+// routing tables; the Network owns the per-port wires and walks packets
+// hop by hop (store-and-forward) along the path returned here.
+//
+//   star():        one switch, every node attaches to it. Network takes the
+//                  exact pre-fabric code path, so star digests are
+//                  bit-identical to the PR 5 recordings.
+//   leaf_spine(L,S): switches 0..L-1 are leaves, L..L+S-1 are spines.
+//                  Node n attaches to leaf n % L (round-robin). Every leaf
+//                  has one trunk to every spine; cross-leaf traffic takes
+//                  node -> leaf -> spine -> leaf -> node, with the spine
+//                  chosen by deterministic ECMP over (src, dst, msg_id).
+//
+// Routing tables are materialized per switch at construction (not derived
+// on the forwarding path): a leaf maps a destination leaf to its ECMP set
+// of spine next-hops, a spine maps a destination leaf to the single trunk
+// toward it. ECMP hashing is flow-deterministic — all packets of one
+// message take one path (no reordering inside a message), different
+// messages spread across spines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nadfs::net {
+
+/// Switch identifier. In leaf_spine(L, S): 0..L-1 leaves, L..L+S-1 spines.
+using SwitchId = std::uint32_t;
+
+class Topology {
+ public:
+  /// Single switch (the paper's SST star). Default-constructed == star.
+  Topology() = default;
+  static Topology star() { return Topology{}; }
+
+  /// 2-tier leaf/spine Clos: `leaves` edge switches, `spines` core
+  /// switches, full bipartite trunking. Requires leaves >= 1, spines >= 1.
+  static Topology leaf_spine(unsigned leaves, unsigned spines);
+
+  bool single_switch() const { return spines_ == 0; }
+  unsigned leaf_count() const { return leaves_; }
+  unsigned spine_count() const { return spines_; }
+  std::size_t switch_count() const { return single_switch() ? 1 : leaves_ + spines_; }
+
+  bool is_spine(SwitchId sw) const { return !single_switch() && sw >= leaves_; }
+  SwitchId spine_id(unsigned i) const { return static_cast<SwitchId>(leaves_ + i); }
+
+  /// The leaf switch `node`'s access link lands on (0 for the star).
+  SwitchId leaf_of(NodeId node) const {
+    return single_switch() ? 0 : static_cast<SwitchId>(node % leaves_);
+  }
+
+  /// Leaf routing table: ECMP next-hop set from `leaf` toward `dst_leaf`
+  /// (all spines in a full bipartite fabric; empty for dst_leaf == leaf,
+  /// where the packet turns around locally).
+  const std::vector<SwitchId>& next_hops(SwitchId leaf, SwitchId dst_leaf) const;
+
+  /// Spine routing table: the next hop from `spine` toward `dst_leaf`.
+  SwitchId spine_next_hop(SwitchId spine, SwitchId dst_leaf) const;
+
+  /// Deterministic ECMP flow hash. Mixes (src, dst, msg_id) through a
+  /// splitmix64 finalizer, so the choice is a pure function of the flow —
+  /// stable across runs, independent of event order and RNG state.
+  static std::uint64_t ecmp_hash(NodeId src, NodeId dst, std::uint64_t msg_id);
+
+  /// The spine a cross-leaf flow is hashed onto (from leaf_of(src)'s table).
+  SwitchId spine_for(NodeId src, NodeId dst, std::uint64_t msg_id) const;
+
+ private:
+  unsigned leaves_ = 1;
+  unsigned spines_ = 0;  // 0 == single switch
+  // leaf_routes_[leaf * leaves_ + dst_leaf] -> ECMP set of spine ids.
+  std::vector<std::vector<SwitchId>> leaf_routes_;
+  // spine_routes_[(spine - leaves_) * leaves_ + dst_leaf] -> leaf id.
+  std::vector<SwitchId> spine_routes_;
+};
+
+}  // namespace nadfs::net

@@ -26,6 +26,7 @@ std::string SpanTracer::lane_name(std::uint32_t lane) {
     case kLaneDownlink: return "downlink";
     case kLaneEgress: return "egress";
     case kLaneAck: return "ack";
+    case kLaneTrunk: return "trunk";
     default:
       return "hpu c" + std::to_string(lane / 1000) + "/" + std::to_string(lane % 1000);
   }

@@ -3,8 +3,10 @@
 // A StorageNode is the full Fig. 1(d) stack: storage target (NVMM), RDMA
 // NIC, PsPIN device, host CPU, plus the DFS state its execution context
 // owns. A ClientNode is a DFS endpoint: RAM + NIC + CPU. The Cluster wires
-// them onto one switch (the paper's SST topology) together with the
-// control-plane services.
+// them onto the configured switch fabric (ClusterConfig::network.topology:
+// the paper's single SST star by default, or a 2-tier leaf/spine — nodes
+// attach round-robin to leaves in construction order, storage nodes first)
+// together with the control-plane services.
 #pragma once
 
 #include <memory>

@@ -26,6 +26,8 @@ FailureDetector::FailureDetector(Cluster& cluster, Client& prober, FailureDetect
   auto& reg = cluster_.metrics();
   reg.counter_cell(metrics_prefix_ + ".probes_sent", &probes_sent_);
   reg.counter_cell(metrics_prefix_ + ".probes_missed", &probes_missed_);
+  reg.counter_cell(metrics_prefix_ + ".indirect_probes", &indirect_probes_);
+  reg.counter_cell(metrics_prefix_ + ".escalations_held", &escalations_held_);
   reg.gauge(metrics_prefix_ + ".failed_nodes",
             [this] { return static_cast<long long>(failed_.size()); });
 }
@@ -55,25 +57,60 @@ void FailureDetector::probe(std::size_t i) {
     NodeState& ns = nodes_[i];
     ns.outstanding = false;
     if (!data.empty()) {
-      // Heartbeat answered. A suspected node is rehabilitated; failed
+      // Heartbeat answered. A suspected or partition-held node is
+      // rehabilitated (this is the heal path after a fabric cut); failed
       // stays failed.
       ns.misses = 0;
-      if (ns.health == Health::kSuspected) ns.health = Health::kAlive;
+      ns.confirms = 0;
+      if (ns.health == Health::kSuspected || ns.health == Health::kPartitioned) {
+        ns.health = Health::kAlive;
+      }
       return;
     }
     ++probes_missed_;
     if (ns.health == Health::kFailed) return;
     ++ns.misses;
     if (ns.misses >= cfg_.fail_after) {
-      ns.health = Health::kFailed;
-      ns.failed_at = at;
-      failed_.insert(ns.id);
-      cluster_.metadata().exclude_from_placement(ns.id);
-      if (on_failure_) on_failure_(ns.id, at);
+      if (cfg_.partition_aware && partition_suspected()) {
+        // Enough peers are simultaneously unreachable that the likeliest
+        // explanation is a partition with *us* on the minority side. Hold
+        // the escalation: the node stays excluded from nothing, keeps
+        // being probed, and rehabilitates when the cut heals.
+        if (ns.health != Health::kPartitioned) ++escalations_held_;
+        ns.health = Health::kPartitioned;
+        return;
+      }
+      if (ns.confirms < cfg_.confirm_probes) {
+        // Confirmation probe, issued immediately rather than on the tick
+        // cadence (the indirect-probe analog): only a node that also
+        // misses these is declared failed.
+        ++ns.confirms;
+        ++indirect_probes_;
+        probe(i);
+        return;
+      }
+      escalate(ns, at);
     } else if (ns.misses >= cfg_.suspect_after) {
       ns.health = Health::kSuspected;
     }
   });
+}
+
+void FailureDetector::escalate(NodeState& ns, TimePs at) {
+  ns.health = Health::kFailed;
+  ns.failed_at = at;
+  failed_.insert(ns.id);
+  cluster_.metadata().exclude_from_placement(ns.id);
+  if (on_failure_) on_failure_(ns.id, at);
+}
+
+bool FailureDetector::partition_suspected() const {
+  if (nodes_.empty()) return false;
+  std::size_t non_alive = 0;
+  for (const NodeState& ns : nodes_) {
+    if (ns.health != Health::kAlive) ++non_alive;
+  }
+  return static_cast<double>(non_alive) >= cfg_.suspect_quorum * nodes_.size();
 }
 
 FailureDetector::Health FailureDetector::health(net::NodeId node) const {

@@ -30,11 +30,29 @@ struct FailureDetectorConfig {
   TimePs probe_timeout = us(10);   ///< deadline per probe (the prober's op timeout)
   unsigned suspect_after = 1;      ///< consecutive misses -> suspected
   unsigned fail_after = 3;         ///< consecutive misses -> failed (sticky)
+  /// Partition awareness: when the fraction of monitored nodes that are
+  /// simultaneously non-alive reaches `suspect_quorum`, escalation to
+  /// kFailed is *held* (the nodes park in kPartitioned) — mass simultaneous
+  /// unreachability means the detector itself is probably on the minority
+  /// side of a fabric cut, and declaring the other half dead would
+  /// split-brain the recovery path. Held nodes keep being probed and
+  /// rehabilitate to kAlive when the partition heals.
+  bool partition_aware = true;
+  double suspect_quorum = 0.5;
+  /// Confirmation probes before a node is declared failed: once misses
+  /// reach fail_after, the detector re-probes immediately (off the tick
+  /// cadence, the SWIM-style indirect-probe analog) this many extra times
+  /// and only escalates if they all miss too. Costs confirm_probes *
+  /// probe_timeout of detection latency; filters one-off congestion.
+  unsigned confirm_probes = 1;
 };
 
 class FailureDetector {
  public:
-  enum class Health { kAlive, kSuspected, kFailed };
+  /// kPartitioned: past fail_after misses but escalation held by the
+  /// suspect quorum — treated as unreachable-but-not-dead (never excluded
+  /// from placement, never reported through on_failure).
+  enum class Health { kAlive, kSuspected, kPartitioned, kFailed };
 
   /// `prober` must be a dedicated client (its NIC control handler and
   /// timeout/retry policy are owned by the detector; sharing it with a
@@ -66,11 +84,18 @@ class FailureDetector {
 
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t probes_missed() const { return probes_missed_; }
+  /// Confirmation probes issued (the indirect-probe analog).
+  std::uint64_t indirect_probes() const { return indirect_probes_; }
+  /// Escalations held by the suspect quorum (kPartitioned transitions).
+  std::uint64_t escalations_held() const { return escalations_held_; }
+  /// True while the suspect quorum currently holds escalations.
+  bool partition_suspected() const;
 
  private:
   struct NodeState {
     net::NodeId id = net::kInvalidNode;
     unsigned misses = 0;
+    unsigned confirms = 0;     ///< confirmation probes spent this episode
     bool outstanding = false;  ///< probe in flight (deadline not yet resolved)
     Health health = Health::kAlive;
     TimePs failed_at = 0;
@@ -78,6 +103,7 @@ class FailureDetector {
 
   void tick();
   void probe(std::size_t i);
+  void escalate(NodeState& ns, TimePs at);
 
   Cluster& cluster_;
   Client& prober_;
@@ -89,6 +115,8 @@ class FailureDetector {
   sim::Periodic ticker_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_missed_ = 0;
+  std::uint64_t indirect_probes_ = 0;
+  std::uint64_t escalations_held_ = 0;
   std::string metrics_prefix_;
 };
 

@@ -82,6 +82,21 @@ class GapServer {
   }
 
   Window reserve_time(TimePs duration, TimePs earliest = 0) {
+    const Window w = plan_time(duration, earliest);
+    commit(w);
+    return w;
+  }
+
+  /// The window reserve() *would* return, without taking it. Lets a caller
+  /// look at the serialization start before committing — e.g. to decide
+  /// whether the source is still reachable when the wire would pick the
+  /// packet up, or whether a bounded port buffer overflows. plan + commit
+  /// is exactly reserve (nothing can interleave within one event).
+  Window plan(std::size_t bytes, TimePs earliest = 0) {
+    return plan_time(rate_.transfer_time(bytes), earliest);
+  }
+
+  Window plan_time(TimePs duration, TimePs earliest = 0) {
     prune();
     TimePs t = std::max(sim_.now(), earliest);
     if (duration == 0) return {t, t};
@@ -97,11 +112,14 @@ class GapServer {
       t = std::max(t, next->second);
       ++next;
     }
+    return {t, t + duration};
+  }
 
-    const Window w{t, t + duration};
+  /// Take a window previously returned by plan()/plan_time().
+  void commit(const Window& w) {
+    if (w.end == w.start) return;
     insert(w);
-    total_time_ += duration;
-    return w;
+    total_time_ += w.end - w.start;
   }
 
   /// Earliest instant with no reservation at or after now (end of the last

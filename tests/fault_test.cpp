@@ -69,6 +69,51 @@ TEST(FaultPlan, EmptyReflectsConfiguration) {
   EXPECT_TRUE(plan.empty());
   plan.set_drop_rate(0.1);
   EXPECT_FALSE(plan.empty());
+  net::FaultPlan trunk_plan;
+  trunk_plan.trunk_down(0, 2, us(1));
+  EXPECT_FALSE(trunk_plan.empty());
+}
+
+TEST(FaultPlan, OverlappingUnsortedWindowsCompose) {
+  // Windows may be added out of order and may overlap: a time is down if
+  // *any* window covers it.
+  net::FaultPlan plan;
+  plan.link_down(1, us(10), us(20));
+  plan.link_down(1, us(5), us(12));   // unsorted + overlapping
+  plan.link_down(1, us(30));          // open-ended (kNeverPs)
+  EXPECT_TRUE(plan.link_up(1, us(5) - 1));
+  EXPECT_FALSE(plan.link_up(1, us(5)));
+  EXPECT_FALSE(plan.link_up(1, us(11)));  // covered by both
+  EXPECT_FALSE(plan.link_up(1, us(15)));  // covered by the first only
+  EXPECT_TRUE(plan.link_up(1, us(20)));   // half-open: up again at 20
+  EXPECT_TRUE(plan.link_up(1, us(30) - 1));
+  EXPECT_FALSE(plan.link_up(1, us(30)));
+  EXPECT_FALSE(plan.link_up(1, net::kNeverPs - 1));  // never comes back
+}
+
+TEST(FaultPlan, ReachableComposesKillAndLink) {
+  // reachable == alive AND link up; either alone makes the node dark.
+  net::FaultPlan plan;
+  plan.link_down(6, us(10), us(20));
+  plan.kill_node(6, us(50));
+  EXPECT_TRUE(plan.reachable(6, us(9)));
+  EXPECT_FALSE(plan.reachable(6, us(15)));  // link down, still alive
+  EXPECT_TRUE(plan.reachable(6, us(20)));   // window over, not yet killed
+  EXPECT_FALSE(plan.reachable(6, us(50)));  // killed (inclusive boundary)
+  EXPECT_FALSE(plan.reachable(6, net::kNeverPs - 1));  // kill is sticky
+}
+
+TEST(FaultPlan, TrunkWindowsAreUnorderedPairsHalfOpen) {
+  net::FaultPlan plan;
+  plan.trunk_down(2, 0, us(1), us(3));  // (2,0) and (0,2) are the same trunk
+  EXPECT_TRUE(plan.trunk_up(0, 2, us(1) - 1));
+  EXPECT_FALSE(plan.trunk_up(0, 2, us(1)));
+  EXPECT_FALSE(plan.trunk_up(2, 0, us(3) - 1));
+  EXPECT_TRUE(plan.trunk_up(2, 0, us(3)));
+  EXPECT_TRUE(plan.trunk_up(1, 2, us(2)));  // other trunks unaffected
+  // Open-ended cut on a different pair.
+  plan.trunk_down(1, 3, us(5));
+  EXPECT_FALSE(plan.trunk_up(3, 1, ms(100)));
 }
 
 // ------------------------------------------------------- network hooks
@@ -149,6 +194,72 @@ TEST(FaultNet, SeededDropRateIsDeterministic) {
   // on the exact drop set; allow a tie on the count).
   const auto [delivered3, drops3] = run(8);
   EXPECT_EQ(delivered3 + drops3, 1000u);
+}
+
+// Sink that stamps each delivery with its simulated arrival time.
+struct TimedRecorder : net::PacketSink {
+  sim::Simulator* sim = nullptr;
+  std::vector<std::pair<TimePs, net::Packet>> pkts;
+  void on_packet(net::Packet&& p) override { pkts.emplace_back(sim->now(), std::move(p)); }
+};
+
+TEST(FaultNet, DuplicateDeliversOriginalFirstCopyBehind) {
+  // Regression: the duplicated copy used to be handed to the downlink
+  // *before* the original, so the copy owned the first serialization
+  // window. The original must go first; the copy rides exactly one
+  // downlink window behind it.
+  sim::Simulator sim;
+  net::Network net{sim};
+  TimedRecorder a, b;
+  a.sim = b.sim = &sim;
+  const net::NodeId na = net.add_node(a);
+  const net::NodeId nb = net.add_node(b);
+  net::FaultPlan plan;
+  plan.set_duplicate_rate(1.0);
+  net.install_faults(plan);
+
+  net::Packet p = mk(na, nb, Bytes(256, 3));
+  p.seq = 7;
+  const TimePs ser = net.config().link_bandwidth.transfer_time(p.wire_size());
+  net.inject(std::move(p));
+  sim.run();
+
+  ASSERT_EQ(b.pkts.size(), 2u);
+  EXPECT_EQ(net.fault_counters().duplicates, 1u);
+  EXPECT_EQ(b.pkts[0].second.seq, 7u);
+  EXPECT_EQ(b.pkts[1].second.seq, 7u);
+  EXPECT_EQ(b.pkts[0].second.data, b.pkts[1].second.data);
+  EXPECT_LT(b.pkts[0].first, b.pkts[1].first);
+  // Back-to-back windows on the shared downlink: the second arrival trails
+  // the first by exactly one serialization time.
+  EXPECT_EQ(b.pkts[1].first - b.pkts[0].first, ser);
+}
+
+TEST(FaultNet, TxReachabilityDecidedAtSerializationStart) {
+  // Regression: source reachability used to be decided at injection time,
+  // so a packet injected while the node was alive transmitted even if the
+  // node died before the uplink queue drained to it. Saturate the uplink
+  // at t=0, kill the source mid-queue, and pin the corrected drop count.
+  Rig rig;
+  net::Packet probe = mk(rig.na, rig.nb, Bytes(1024, 5));
+  const TimePs ser = rig.net.config().link_bandwidth.transfer_time(probe.wire_size());
+  // Packet i serializes in [i*ser, (i+1)*ser). Kill at exactly 3*ser: the
+  // kill boundary is inclusive, so packets 3..7 (queued but not yet on the
+  // wire) never transmit even though all 8 were injected while alive.
+  net::FaultPlan plan;
+  plan.kill_node(rig.na, 3 * ser);
+  rig.net.install_faults(plan);
+  for (int i = 0; i < 8; ++i) {
+    net::Packet p = mk(rig.na, rig.nb, Bytes(1024, 5));
+    p.seq = static_cast<std::uint32_t>(i);
+    rig.net.inject(std::move(p));
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 3u);
+  EXPECT_EQ(rig.net.fault_counters().tx_drops, 5u);
+  for (std::size_t i = 0; i < rig.b.pkts.size(); ++i) {
+    EXPECT_EQ(rig.b.pkts[i].seq, i);  // survivors are the head of the queue
+  }
 }
 
 TEST(FaultNet, DuplicateRateDeliversCopies) {

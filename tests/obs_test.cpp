@@ -246,7 +246,9 @@ std::uint64_t run_workload_digest(bool traced) {
     // Reading the registry mid-flight is the documented usage; fold a
     // snapshot read in so the test covers it, but never into the digest.
     EXPECT_GT(cluster.metrics().snapshot().size(), 0u);
-    if constexpr (obs::kObsEnabled) EXPECT_GT(tracer.size(), 0u);
+    if constexpr (obs::kObsEnabled) {
+      EXPECT_GT(tracer.size(), 0u);
+    }
   }
   for (std::size_t n = 0; n < cluster.storage_node_count(); ++n) {
     mix(cluster.storage_node(n).target().bytes_written());
