@@ -68,6 +68,26 @@ for seed in 1 7; do
     -R 'Partition|FabricNet|Topology|Determinism'
 done
 
+# Op-surface compliance + model-checked suites under both chaos seeds: the
+# typed-error contract (create/delete/stat/append/list + extent primitives)
+# and the randomized oracle runs are the gate for the DFS op surface; the
+# chaos loop above already covers the kill-mid-append and delete-during-
+# rebuild scenarios under both seeds. The focused rerun here means a
+# discovery hiccup can never silently skip the compliance suites.
+for seed in 1 7; do
+  echo "== op-surface compliance + model suites under NADFS_CHAOS_SEED=$seed"
+  NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'DfsOps|DfsModel|WorkloadEngine|Zipf'
+done
+
+# Workload-engine smoke: the goodput-vs-offered-load bench in smoke mode
+# (2 variants, 3 sweep points). The bench re-reads BENCH_workloads.json
+# through the strict obs JSON parser and exits nonzero when the report is
+# malformed or missing its knee rows — the report format is a tested
+# artifact, not a best-effort dump.
+echo "== workload bench smoke (BENCH_workloads.json validation)"
+(cd "$BUILD_DIR" && NADFS_BENCH_SMOKE=1 "./bench/workloads" > /dev/null)
+
 # Observability gate: the trace-enabled kill-mid-EC-write chaos scenario
 # (examples/chaos_trace) self-validates its span correlation and state-GC
 # drain, then the exported artifacts must parse — the Perfetto trace and

@@ -43,7 +43,8 @@ Bytes rewrite_headers(const DfsHeader& dfs, const WriteRequestHeader& wrh) {
   return serialize_write_headers(dfs, wrh);
 }
 
-void send_control(HandlerCtx& ctx, net::NodeId dst, net::Opcode opcode, std::uint64_t greq) {
+void send_control(HandlerCtx& ctx, net::NodeId dst, net::Opcode opcode, std::uint64_t greq,
+                  DfsError err = DfsError::kOk) {
   net::Packet p;
   p.dst = dst;
   p.opcode = opcode;
@@ -51,6 +52,7 @@ void send_control(HandlerCtx& ctx, net::NodeId dst, net::Opcode opcode, std::uin
   p.seq = 0;
   p.pkt_count = 1;
   p.user_tag = greq;
+  p.raddr = static_cast<std::uint64_t>(err);  // typed error rides the unused raddr
   ctx.send(std::move(p));
 }
 
@@ -78,11 +80,25 @@ void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
   // operation and extent (threat model of §IV: untrusted clients).
   bool ok = true;
   if (st.cfg.validate_requests) {
-    const auto right = req.dfs.op == OpType::kWrite ? auth::Right::kWrite : auth::Right::kRead;
-    const std::uint64_t addr =
-        req.dfs.op == OpType::kWrite ? req.wrh.dest_addr : req.rrh.src_addr;
-    const std::uint64_t len =
-        req.dfs.op == OpType::kWrite ? req.wrh.total_len : req.rrh.len;
+    const auto right = op_is_mutation(req.dfs.op) ? auth::Right::kWrite : auth::Right::kRead;
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    switch (req.dfs.op) {
+      case OpType::kWrite:
+      case OpType::kAppend:
+        addr = req.wrh.dest_addr;
+        len = req.wrh.total_len;
+        break;
+      case OpType::kRead:
+        addr = req.rrh.src_addr;
+        len = req.rrh.len;
+        break;
+      case OpType::kTrim:
+      case OpType::kStat:
+        addr = req.erh.addr;
+        len = req.erh.len;
+        break;
+    }
     ok = st.authority.verify(req.dfs.cap, ctx.now_ps(), right, addr, len);
     if (!ok) ++st.auth_failures;
   }
@@ -101,7 +117,8 @@ void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
   if (!ok || !slot) {
     st.denied.insert(key);
     ++st.nacks_sent;
-    send_control(ctx, req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id);
+    send_control(ctx, req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id,
+                 ok ? DfsError::kTableFull : DfsError::kDenied);
     return;
   }
 
@@ -118,7 +135,15 @@ void header_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
     st.requests.emplace(key, std::move(entry));
     return;
   }
+  if (req.dfs.op == OpType::kTrim || req.dfs.op == OpType::kStat) {
+    entry.erh = req.erh;
+    st.requests.emplace(key, std::move(entry));
+    return;
+  }
 
+  // kWrite and kAppend share the write data plane: by the time the request
+  // reaches a storage node the metadata service has resolved the append tail
+  // into a concrete extent, so the WRH carries the final dest_addr.
   const WriteRequestHeader& wrh = req.wrh;
   entry.dest_addr = wrh.dest_addr;
   entry.total_len = wrh.total_len;
@@ -288,7 +313,7 @@ void payload_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
   }
   ReqEntry& entry = it->second;
 
-  if (entry.op == OpType::kRead) {
+  if (!op_is_mutation(entry.op) || entry.op == OpType::kTrim) {
     ctx.charge(cost::kDropInstr, cost::kDropCycles);  // nothing per-packet
     return;
   }
@@ -337,7 +362,40 @@ void completion_handler(DfsState& st, HandlerCtx& ctx, const net::Packet& pkt) {
   st.requests.erase(it);
   st.table.release(entry.slot);
 
+  if (entry.op == OpType::kTrim) {
+    // Tombstone the extent, fence, ack — deletes get the same
+    // flush-then-ack persistence guarantee as writes (§III-B.1).
+    ctx.charge(cost::kChInstr, cost::kChCycles);
+    ctx.trim_storage(entry.erh.addr, entry.erh.len);
+    ctx.storage_fence();
+    ++st.acks_sent;
+    send_control(ctx, entry.client, net::Opcode::kAck, entry.greq_id);
+    return;
+  }
+
+  if (entry.op == OpType::kStat) {
+    // Liveness probe: a tombstoned extent answers kNotFound, a live one
+    // acks. The probe is functional (NIC-memory metadata), no storage DMA.
+    ctx.charge(cost::kChInstr, cost::kChCycles);
+    if (ctx.storage_trimmed(entry.erh.addr, entry.erh.len)) {
+      ++st.nacks_sent;
+      send_control(ctx, entry.client, net::Opcode::kNack, entry.greq_id, DfsError::kNotFound);
+    } else {
+      ++st.acks_sent;
+      send_control(ctx, entry.client, net::Opcode::kAck, entry.greq_id);
+    }
+    return;
+  }
+
   if (entry.op == OpType::kRead) {
+    // A read of a tombstoned extent fails typed instead of streaming back
+    // zeros the deleted data left behind.
+    if (ctx.storage_trimmed(entry.rrh.src_addr, entry.rrh.len)) {
+      ctx.charge(cost::kChInstr, cost::kChCycles);
+      ++st.nacks_sent;
+      send_control(ctx, entry.client, net::Opcode::kNack, entry.greq_id, DfsError::kNotFound);
+      return;
+    }
     // DFS_request_fini for reads: stream the extent back with
     // scatter-gather sends — the NIC gathers each packet's payload from
     // the storage target at transmit time, so the PCIe reads pipeline with

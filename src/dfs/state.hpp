@@ -73,6 +73,9 @@ struct ReqEntry {
 
   // Reads.
   ReadRequestHeader rrh;
+
+  // Extent ops (trim / stat).
+  ExtentRequestHeader erh;
 };
 
 struct DfsState {

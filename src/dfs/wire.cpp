@@ -13,6 +13,46 @@ const char* repl_strategy_name(ReplStrategy s) {
   return "?";
 }
 
+const char* op_type_name(OpType op) {
+  switch (op) {
+    case OpType::kWrite: return "write";
+    case OpType::kRead: return "read";
+    case OpType::kAppend: return "append";
+    case OpType::kTrim: return "trim";
+    case OpType::kStat: return "stat";
+  }
+  return "?";
+}
+
+const char* dfs_error_name(DfsError e) {
+  switch (e) {
+    case DfsError::kOk: return "ok";
+    case DfsError::kNotFound: return "not_found";
+    case DfsError::kExists: return "exists";
+    case DfsError::kBadArg: return "bad_arg";
+    case DfsError::kDenied: return "denied";
+    case DfsError::kTableFull: return "table_full";
+    case DfsError::kTimeout: return "timeout";
+    case DfsError::kDegraded: return "degraded";
+    case DfsError::kNoQuorum: return "no_quorum";
+    case DfsError::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+bool op_is_mutation(OpType op) {
+  switch (op) {
+    case OpType::kWrite:
+    case OpType::kAppend:
+    case OpType::kTrim:
+      return true;
+    case OpType::kRead:
+    case OpType::kStat:
+      return false;
+  }
+  return true;
+}
+
 void DfsHeader::serialize(ByteWriter& w) const {
   w.put(static_cast<std::uint8_t>(op));
   w.put(greq_id);
@@ -122,6 +162,18 @@ ReadRequestHeader ReadRequestHeader::deserialize(ByteReader& r) {
   return h;
 }
 
+void ExtentRequestHeader::serialize(ByteWriter& w) const {
+  w.put(addr);
+  w.put(len);
+}
+
+ExtentRequestHeader ExtentRequestHeader::deserialize(ByteReader& r) {
+  ExtentRequestHeader h;
+  h.addr = r.get<std::uint64_t>();
+  h.len = r.get<std::uint64_t>();
+  return h;
+}
+
 Bytes serialize_write_headers(const DfsHeader& dfs, const WriteRequestHeader& wrh) {
   Bytes out;
   ByteWriter w(out);
@@ -134,10 +186,21 @@ ParsedRequest parse_request(ByteSpan first_packet_payload) {
   ByteReader r(first_packet_payload);
   ParsedRequest out;
   out.dfs = DfsHeader::deserialize(r);
-  if (out.dfs.op == OpType::kWrite) {
-    out.wrh = WriteRequestHeader::deserialize(r);
-  } else {
-    out.rrh = ReadRequestHeader::deserialize(r);
+  switch (out.dfs.op) {
+    case OpType::kWrite:
+    case OpType::kAppend:
+      out.wrh = WriteRequestHeader::deserialize(r);
+      break;
+    case OpType::kRead:
+      out.rrh = ReadRequestHeader::deserialize(r);
+      break;
+    case OpType::kTrim:
+    case OpType::kStat:
+      out.erh = ExtentRequestHeader::deserialize(r);
+      break;
+    default:
+      // Unknown op byte: treated like any other malformed header.
+      throw std::out_of_range("parse_request: unknown op");
   }
   out.header_bytes = r.position();
   return out;
@@ -205,6 +268,26 @@ std::vector<net::Packet> build_read_packets(net::NodeId src, net::NodeId dst,
   p.src = src;
   p.dst = dst;
   p.opcode = net::Opcode::kRdmaWrite;  // read *requests* ride the write path into sPIN
+  p.msg_id = dfs.greq_id;
+  p.seq = 0;
+  p.pkt_count = 1;
+  p.user_tag = dfs.greq_id;
+  p.data = std::move(payload);
+  return {std::move(p)};
+}
+
+std::vector<net::Packet> build_extent_packets(net::NodeId src, net::NodeId dst,
+                                              const DfsHeader& dfs,
+                                              const ExtentRequestHeader& erh) {
+  Bytes payload;
+  ByteWriter w(payload);
+  dfs.serialize(w);
+  erh.serialize(w);
+
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.opcode = net::Opcode::kRdmaWrite;  // extent ops ride the write path into sPIN too
   p.msg_id = dfs.greq_id;
   p.seq = 0;
   p.pkt_count = 1;

@@ -24,12 +24,41 @@
 
 namespace nadfs::dfs {
 
-enum class OpType : std::uint8_t { kWrite = 0, kRead = 1 };
+/// DFS data-plane operations. kAppend is a write at a metadata-reserved
+/// offset (same WRH, distinct op so semantics and observability can tell
+/// the two apart); kTrim tombstones an extent (the data-plane half of a
+/// delete); kStat probes an extent's liveness (trimmed extents answer
+/// kNotFound).
+enum class OpType : std::uint8_t { kWrite = 0, kRead = 1, kAppend = 2, kTrim = 3, kStat = 4 };
 enum class Resiliency : std::uint8_t { kNone = 0, kReplication = 1, kErasureCoding = 2 };
 enum class ReplStrategy : std::uint8_t { kRing = 0, kPbt = 1 };
 enum class EcRole : std::uint8_t { kData = 0, kParity = 1 };
 
 const char* repl_strategy_name(ReplStrategy s);
+const char* op_type_name(OpType op);
+
+/// Typed DFS status codes, carried on the wire in control packets (the
+/// otherwise-unused raddr field of kAck/kNack) so a client learns *why* an
+/// op failed instead of inferring it from ambiguous sentinels. kTimeout,
+/// kDegraded and kNoQuorum are client/recovery-side classifications; the
+/// rest originate at the serving node.
+enum class DfsError : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,   ///< extent trimmed / object unknown
+  kExists = 2,     ///< create of an existing name
+  kBadArg = 3,     ///< malformed parameters (zero-length read, bad policy)
+  kDenied = 4,     ///< capability verification failed
+  kTableFull = 5,  ///< request table exhausted (paper §III-B.2 denial)
+  kTimeout = 6,    ///< client-side deadline expired, retries exhausted
+  kDegraded = 7,   ///< served, but from a degraded path
+  kNoQuorum = 8,   ///< too few eligible nodes for the requested placement
+  kMalformed = 9,  ///< request headers failed to parse
+};
+
+const char* dfs_error_name(DfsError e);
+
+/// Does `op` need a kWrite-class capability (mutating) or kRead-class?
+bool op_is_mutation(OpType op);
 
 /// Network + storage coordinates of one replica / parity target.
 struct Coord {
@@ -86,11 +115,22 @@ struct ReadRequestHeader {
   static ReadRequestHeader deserialize(ByteReader& r);
 };
 
+/// Extent op header (kTrim / kStat): a bare [addr, addr+len) range.
+struct ExtentRequestHeader {
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+
+  static constexpr std::size_t kWireBytes = 8 + 8;
+  void serialize(ByteWriter& w) const;
+  static ExtentRequestHeader deserialize(ByteReader& r);
+};
+
 /// Parsed first packet of a request.
 struct ParsedRequest {
   DfsHeader dfs;
-  WriteRequestHeader wrh;  // valid when dfs.op == kWrite
+  WriteRequestHeader wrh;  // valid when dfs.op == kWrite / kAppend
   ReadRequestHeader rrh;   // valid when dfs.op == kRead
+  ExtentRequestHeader erh;  // valid when dfs.op == kTrim / kStat
   std::size_t header_bytes = 0;  ///< offset of the data in the first packet
 };
 
@@ -107,6 +147,12 @@ std::vector<net::Packet> build_write_packets(net::NodeId src, net::NodeId dst, s
 /// Build the single-packet train for a DFS read request.
 std::vector<net::Packet> build_read_packets(net::NodeId src, net::NodeId dst,
                                             const DfsHeader& dfs, const ReadRequestHeader& rrh);
+
+/// Build the single-packet train for a DFS extent op (kTrim / kStat; the op
+/// comes from `dfs.op`).
+std::vector<net::Packet> build_extent_packets(net::NodeId src, net::NodeId dst,
+                                              const DfsHeader& dfs,
+                                              const ExtentRequestHeader& erh);
 
 /// Serialize [DFS header | WRH] — the first-packet header block. Used by
 /// forwarding paths (sPIN handlers and the host DFS service) to rewrite a

@@ -112,6 +112,14 @@ TimePs PsPinDevice::replay(spin::HandlerCtx& ctx, MsgState& msg, unsigned cluste
         msg.dma_durable_max = std::max(msg.dma_durable_max, durable);
         break;
       }
+      case spin::HandlerCtx::Cmd::Kind::kTrim: {
+        // Tombstone command toward the storage target; like a write, its
+        // durability is folded into the message's storage fence so a
+        // trim-then-ack CH keeps the persistence guarantee.
+        const TimePs durable = nic_->trim_storage(cmd.addr, cmd.len, cursor);
+        msg.dma_durable_max = std::max(msg.dma_durable_max, durable);
+        break;
+      }
       case spin::HandlerCtx::Cmd::Kind::kDmaRead: {
         auto [data, done] = nic_->dma_from_storage(cmd.addr, cmd.len, cursor);
         (void)data;  // functional bytes were already delivered at record time
@@ -141,6 +149,8 @@ TimePs PsPinDevice::run_handler(spin::HandlerType type, const spin::Handler& han
   spin::HandlerCtx ctx(nic_->node_id(), start, msg.flow_slot);
   ctx.set_storage_reader(
       [this](std::uint64_t addr, std::size_t len) { return nic_->peek_storage(addr, len); });
+  ctx.set_storage_prober(
+      [this](std::uint64_t addr, std::uint64_t len) { return nic_->storage_trimmed(addr, len); });
   handler(ctx, pkt);
 
   const TimePs end = replay(ctx, msg, msg.cluster, start);

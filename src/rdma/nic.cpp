@@ -138,13 +138,14 @@ void Nic::post_message(std::vector<net::Packet> pkts) {
 void Nic::post_triggered_write(TriggeredWrite trigger) { triggers_.push_back(trigger); }
 
 void Nic::post_control(net::NodeId dst, net::Opcode opcode, std::uint64_t tag,
-                       TimePs earliest) {
+                       TimePs earliest, std::uint64_t code) {
   net::Packet p;
   p.src = id_;
   p.dst = dst;
   p.opcode = opcode;
   p.msg_id = alloc_msg_id();
   p.user_tag = tag;
+  p.raddr = code;
   net_.inject(std::move(p), std::max(earliest, sim_.now() + config_.doorbell_latency));
 }
 
@@ -202,6 +203,19 @@ std::pair<Bytes, TimePs> Nic::dma_from_storage(std::uint64_t addr, std::size_t l
 }
 
 Bytes Nic::peek_storage(std::uint64_t addr, std::size_t len) { return memory_.read(addr, len); }
+
+TimePs Nic::trim_storage(std::uint64_t addr, std::uint64_t len, TimePs ready) {
+  // Trim is a metadata-sized command: PCIe latency, no payload DMA burst.
+  const auto w = pcie_.reserve(0, ready);
+  const TimePs durable = memory_.trim(addr, len, w.end + config_.pcie_latency);
+  if (obs::kObsEnabled && tracer_)
+    tracer_->record({id_, obs::kLaneNicDma, "dma", "trim_storage", 0, 0, 0, len, w.start, durable});
+  return durable;
+}
+
+bool Nic::storage_trimmed(std::uint64_t addr, std::uint64_t len) {
+  return memory_.trimmed(addr, len);
+}
 
 void Nic::notify_host(std::uint64_t code, std::uint64_t arg, TimePs when) {
   const TimePs at = when + config_.pcie_latency;

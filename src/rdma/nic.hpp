@@ -116,8 +116,10 @@ class Nic : public net::PacketSink, public spin::NicServices {
   void post_triggered_write(TriggeredWrite trigger);
 
   /// Host-posted control packet (DFS-level ack/nack from CPU-side servers).
+  /// `code` rides in the otherwise-unused raddr field — the DFS layer uses
+  /// it to carry a typed dfs::DfsError on NACKs (0 == unspecified/ok).
   void post_control(net::NodeId dst, net::Opcode opcode, std::uint64_t tag,
-                    TimePs earliest = 0);
+                    TimePs earliest = 0, std::uint64_t code = 0);
 
   /// Register interest in a kRdmaReadResp stream tagged `tag` (DFS reads
   /// answered by remote sPIN handlers). `len` is the expected total size.
@@ -161,6 +163,8 @@ class Nic : public net::PacketSink, public spin::NicServices {
   std::pair<Bytes, TimePs> dma_from_storage(std::uint64_t addr, std::size_t len,
                                             TimePs ready) override;
   Bytes peek_storage(std::uint64_t addr, std::size_t len) override;
+  TimePs trim_storage(std::uint64_t addr, std::uint64_t len, TimePs ready) override;
+  bool storage_trimmed(std::uint64_t addr, std::uint64_t len) override;
   void notify_host(std::uint64_t code, std::uint64_t arg, TimePs when) override;
   net::NodeId node_id() const override { return id_; }
 

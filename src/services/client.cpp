@@ -1,9 +1,33 @@
 #include "services/client.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
 namespace nadfs::services {
+
+namespace {
+/// Collapse a typed completion to the legacy bool contract.
+OpCb wrap_done(DoneCb cb) {
+  return [cb = std::move(cb)](dfs::DfsError err, TimePs at) {
+    cb(err == dfs::DfsError::kOk, at);
+  };
+}
+
+bool transient_error(dfs::DfsError err) {
+  switch (err) {
+    case dfs::DfsError::kDenied:     // request-table denial classics retry
+    case dfs::DfsError::kTableFull:
+    case dfs::DfsError::kTimeout:
+    case dfs::DfsError::kDegraded:
+    case dfs::DfsError::kNoQuorum:
+      return true;
+    default:
+      return false;  // kNotFound/kExists/kBadArg/kMalformed won't heal by retrying
+  }
+}
+}  // namespace
 
 void AckTracker::install(rdma::Nic& nic) {
   nic.set_control_handler([this](const net::Packet& pkt, TimePs at) {
@@ -18,35 +42,50 @@ void AckTracker::install(rdma::Nic& nic) {
     if (pkt.opcode == net::Opcode::kNack) {
       auto cb = std::move(it->second.cb);
       ops_.erase(it);
-      cb(false, at);
+      // The typed error rides the control packet's raddr; 0 is a legacy
+      // NACK (pre-typed peer) and maps to the old blanket meaning.
+      dfs::DfsError err = dfs::DfsError::kDenied;
+      if (pkt.raddr != 0 &&
+          pkt.raddr <= static_cast<std::uint64_t>(dfs::DfsError::kMalformed)) {
+        err = static_cast<dfs::DfsError>(pkt.raddr);
+      }
+      cb(err, at);
       return;
     }
     if (++it->second.got >= it->second.needed) {
       auto cb = std::move(it->second.cb);
       ops_.erase(it);
-      cb(true, at);
+      cb(dfs::DfsError::kOk, at);
     }
   });
 }
 
-void AckTracker::expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+void AckTracker::expect(std::uint64_t tag, unsigned acks_needed, OpCb cb) {
   if (ops_.count(tag) != 0) {
     throw std::logic_error("AckTracker::expect: tag already pending (use replace())");
   }
   ops_.emplace(tag, Op{acks_needed, 0, std::move(cb)});
 }
 
-void AckTracker::replace(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+void AckTracker::expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+  expect(tag, acks_needed, wrap_done(std::move(cb)));
+}
+
+void AckTracker::replace(std::uint64_t tag, unsigned acks_needed, OpCb cb) {
   if (ops_.erase(tag) != 0) ++replaced_ops_;
   ops_.emplace(tag, Op{acks_needed, 0, std::move(cb)});
 }
 
+void AckTracker::replace(std::uint64_t tag, unsigned acks_needed, DoneCb cb) {
+  replace(tag, acks_needed, wrap_done(std::move(cb)));
+}
+
 void AckTracker::cancel(std::uint64_t tag) { ops_.erase(tag); }
 
-std::optional<DoneCb> AckTracker::take(std::uint64_t tag) {
+std::optional<OpCb> AckTracker::take(std::uint64_t tag) {
   auto it = ops_.find(tag);
   if (it == ops_.end()) return std::nullopt;
-  DoneCb cb = std::move(it->second.cb);
+  OpCb cb = std::move(it->second.cb);
   ops_.erase(it);
   return cb;
 }
@@ -98,13 +137,22 @@ unsigned Client::acks_for(const FileLayout& layout) {
   return 1;
 }
 
+void Client::write(const FileLayout& layout, const auth::Capability& cap, Bytes data, OpCb cb) {
+  write_at(layout, cap, 0, std::move(data), std::move(cb));
+}
+
 void Client::write(const FileLayout& layout, const auth::Capability& cap, Bytes data,
                    DoneCb cb) {
-  write_at(layout, cap, 0, std::move(data), std::move(cb));
+  write_at(layout, cap, 0, std::move(data), wrap_done(std::move(cb)));
 }
 
 void Client::write_at(const FileLayout& layout, const auth::Capability& cap,
                       std::uint64_t offset, Bytes data, DoneCb cb) {
+  write_at(layout, cap, offset, std::move(data), wrap_done(std::move(cb)));
+}
+
+void Client::write_at(const FileLayout& layout, const auth::Capability& cap,
+                      std::uint64_t offset, Bytes data, OpCb cb) {
   if (offset + data.size() > layout.size) {
     throw std::length_error("Client::write_at: write exceeds object size");
   }
@@ -119,14 +167,15 @@ void Client::write_at(const FileLayout& layout, const auth::Capability& cap,
 }
 
 void Client::striped_write(const FileLayout& layout, const auth::Capability& cap,
-                           std::uint64_t offset, Bytes data, DoneCb cb) {
+                           std::uint64_t offset, Bytes data, OpCb cb) {
   // RAID-0 style: each overlapped stripe unit becomes one plain DFS write
-  // against its stripe's extent; the op completes when every unit acked.
+  // against its stripe's extent; the op completes when every unit acked,
+  // failing with the first unit error seen.
   struct Latch {
     unsigned remaining = 0;
-    bool failed = false;
+    dfs::DfsError err = dfs::DfsError::kOk;
     TimePs last = 0;
-    DoneCb cb;
+    OpCb cb;
   };
   auto latch = std::make_shared<Latch>();
   latch->cb = std::move(cb);
@@ -149,22 +198,22 @@ void Client::striped_write(const FileLayout& layout, const auth::Capability& cap
   }
   latch->remaining = static_cast<unsigned>(units.size());
   for (auto& [target, bytes] : units) {
-    write_extent(target, cap, std::move(bytes), [latch](bool ok, TimePs at) {
-      latch->failed |= !ok;
-      latch->last = std::max(latch->last, at);
-      if (--latch->remaining == 0) latch->cb(!latch->failed, latch->last);
-    });
+    write_extent(target, cap, std::move(bytes), OpCb([latch](dfs::DfsError err, TimePs at) {
+                   if (latch->err == dfs::DfsError::kOk) latch->err = err;
+                   latch->last = std::max(latch->last, at);
+                   if (--latch->remaining == 0) latch->cb(latch->err, latch->last);
+                 }));
   }
 }
 
 void Client::striped_read(const FileLayout& layout, const auth::Capability& cap,
-                          std::uint64_t offset, std::uint32_t len,
-                          std::function<void(Bytes, TimePs)> cb) {
+                          std::uint64_t offset, std::uint32_t len, ReadCb cb) {
   struct Gather {
     Bytes data;
     unsigned remaining = 0;
+    dfs::DfsError err = dfs::DfsError::kOk;
     TimePs last = 0;
-    std::function<void(Bytes, TimePs)> cb;
+    ReadCb cb;
   };
   auto gather = std::make_shared<Gather>();
   gather->data.assign(len, 0);
@@ -193,33 +242,39 @@ void Client::striped_read(const FileLayout& layout, const auth::Capability& cap,
   gather->remaining = static_cast<unsigned>(units.size());
   for (const auto& unit : units) {
     read_extent(unit.target, cap, unit.n,
-                [gather, out_off = unit.out_off](Bytes part, TimePs at) {
+                ReadCb([gather, out_off = unit.out_off](dfs::DfsError err, Bytes part,
+                                                        TimePs at) {
+                  if (gather->err == dfs::DfsError::kOk) gather->err = err;
                   std::copy(part.begin(), part.end(),
                             gather->data.begin() + static_cast<std::ptrdiff_t>(out_off));
                   gather->last = std::max(gather->last, at);
                   if (--gather->remaining == 0) {
-                    gather->cb(std::move(gather->data), gather->last);
+                    gather->cb(gather->err,
+                               gather->err == dfs::DfsError::kOk ? std::move(gather->data)
+                                                                 : Bytes{},
+                               gather->last);
                   }
-                });
+                }));
   }
 }
 
-DoneCb Client::make_write_completion(std::uint64_t greq, DoneCb cb, unsigned attempts_left,
-                                     std::function<void(unsigned)> reissue) {
-  // A failed attempt is either a NACK (the storage node could not admit
-  // the request, e.g. request table full — paper §III-B.2) or a deadline
-  // expiry (arm_write_deadline left a marker in timed_out_). Both back off
-  // and reissue, booked under the matching retry counter.
+OpCb Client::make_write_completion(std::uint64_t greq, OpCb cb, unsigned attempts_left,
+                                   std::function<void(unsigned)> reissue) {
+  // A failed attempt is either a NACK (typed error from the storage node,
+  // e.g. request table full — paper §III-B.2) or a deadline expiry
+  // (arm_write_deadline fails the op with kTimeout). Transient errors back
+  // off and reissue, booked under the matching retry counter; permanent
+  // errors (kNotFound, kBadArg, ...) surface immediately.
   const TimePs issued = cluster_.sim().now();
   return [this, greq, issued, cb = std::move(cb), attempts_left,
-          reissue = std::move(reissue)](bool ok, TimePs at) mutable {
+          reissue = std::move(reissue)](dfs::DfsError err, TimePs at) mutable {
+    const bool ok = err == dfs::DfsError::kOk;
     note_op("write", "write_failed", ok, greq, issued, at, write_latency_);
-    const bool timed_out = timed_out_.erase(greq) != 0;
-    if (ok || attempts_left == 0) {
-      cb(ok, at);
+    if (ok || attempts_left == 0 || !transient_error(err)) {
+      cb(err, at);
       return;
     }
-    ++(timed_out ? timeout_retries_ : deny_retries_);
+    ++(err == dfs::DfsError::kTimeout ? timeout_retries_ : deny_retries_);
     ++retries_performed_;
     cluster_.sim().schedule(
         retry_delay(attempts_left),
@@ -234,8 +289,7 @@ void Client::arm_write_deadline(std::uint64_t greq) {
       // Still pending at the deadline: cancel, so straggler acks land in
       // late_acks instead of completing a dead op, and fail the attempt.
       ++op_timeouts_;
-      timed_out_.insert(greq);
-      (*cb)(false, cluster_.sim().now());
+      (*cb)(dfs::DfsError::kTimeout, cluster_.sim().now());
     }
   });
 }
@@ -252,7 +306,7 @@ TimePs Client::retry_delay(unsigned attempts_left) const {
 }
 
 void Client::start_write(const FileLayout& layout, const auth::Capability& cap,
-                         std::uint64_t offset, Bytes data, DoneCb cb, unsigned attempts_left) {
+                         std::uint64_t offset, Bytes data, OpCb cb, unsigned attempts_left) {
   const std::uint64_t greq = next_greq();
   std::function<void(unsigned)> reissue;
   if (attempts_left > 0) {
@@ -357,6 +411,11 @@ void Client::write_erasure_coded(const FileLayout& layout, const auth::Capabilit
 }
 
 void Client::read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
+                  ReadCb cb) {
+  read_at(layout, cap, 0, len, std::move(cb));
+}
+
+void Client::read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
                   std::function<void(Bytes, TimePs)> cb) {
   read_at(layout, cap, 0, len, std::move(cb));
 }
@@ -364,6 +423,19 @@ void Client::read(const FileLayout& layout, const auth::Capability& cap, std::ui
 void Client::read_at(const FileLayout& layout, const auth::Capability& cap,
                      std::uint64_t offset, std::uint32_t len,
                      std::function<void(Bytes, TimePs)> cb) {
+  if (len == 0) {
+    // The legacy contract signals failure with an empty buffer; zero-length
+    // reads would make it ambiguous. The typed overload reports kBadArg.
+    throw std::invalid_argument("Client::read: zero-length read");
+  }
+  read_at(layout, cap, offset, len,
+          ReadCb([cb = std::move(cb)](dfs::DfsError, Bytes data, TimePs at) mutable {
+            cb(std::move(data), at);
+          }));
+}
+
+void Client::read_at(const FileLayout& layout, const auth::Capability& cap,
+                     std::uint64_t offset, std::uint32_t len, ReadCb cb) {
   if (layout.striped()) {
     striped_read(layout, cap, offset, len, std::move(cb));
     return;
@@ -374,47 +446,84 @@ void Client::read_at(const FileLayout& layout, const auth::Capability& cap,
 }
 
 void Client::read_extent(const dfs::Coord& coord, const auth::Capability& cap,
-                         std::uint32_t len, std::function<void(Bytes, TimePs)> cb) {
+                         std::uint32_t len, ReadCb cb) {
   start_read(coord, cap, len, std::move(cb), max_retries_);
 }
 
-void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
-                        std::function<void(Bytes, TimePs)> cb, unsigned attempts_left) {
+void Client::read_extent(const dfs::Coord& coord, const auth::Capability& cap,
+                         std::uint32_t len, std::function<void(Bytes, TimePs)> cb) {
   if (len == 0) {
-    // An empty buffer is the read-failure signal; zero-length reads would
-    // make it ambiguous.
-    throw std::invalid_argument("Client::start_read: zero-length read");
+    throw std::invalid_argument("Client::read_extent: zero-length read");
+  }
+  start_read(coord, cap, len,
+             ReadCb([cb = std::move(cb)](dfs::DfsError, Bytes data, TimePs at) mutable {
+               cb(std::move(data), at);
+             }),
+             max_retries_);
+}
+
+void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
+                        ReadCb cb, unsigned attempts_left) {
+  if (len == 0) {
+    // A client bug, not a cluster condition: fail typed without touching
+    // the wire (and without burning a greq).
+    cb(dfs::DfsError::kBadArg, Bytes{}, cluster_.sim().now());
+    return;
   }
   const std::uint64_t greq = next_greq();
   const TimePs issued = cluster_.sim().now();
+  // Three completion paths share the callback: response data, a typed NACK
+  // (fail-fast), and the deadline. Exactly one fires; the others are
+  // cancelled when it does.
+  auto shared_cb = std::make_shared<ReadCb>(std::move(cb));
   if (timeout_ != 0) {
     // Deadline: if the NIC still holds the pending read, cancel it (any
     // straggler response packets then count as late) and retry under a
-    // fresh greq, or give up with an empty buffer.
-    cluster_.sim().schedule(timeout_, [this, coord, cap, len, cb, attempts_left,
+    // fresh greq, or give up with kTimeout.
+    cluster_.sim().schedule(timeout_, [this, coord, cap, len, shared_cb, attempts_left,
                                        greq, issued]() mutable {
-      if (!node_.nic().cancel_read(greq)) return;  // answered in time
+      if (!node_.nic().cancel_read(greq)) return;  // answered or NACKed in time
+      tracker_.cancel(greq);
       note_op("read", "read_failed", false, greq, issued, cluster_.sim().now(), read_latency_);
       ++op_timeouts_;
       if (attempts_left == 0) {
-        cb(Bytes{}, cluster_.sim().now());
+        (*shared_cb)(dfs::DfsError::kTimeout, Bytes{}, cluster_.sim().now());
         return;
       }
       ++timeout_retries_;
       ++retries_performed_;
       cluster_.sim().schedule(
-          retry_delay(attempts_left),
-          [this, coord, cap, len, cb = std::move(cb), attempts_left]() mutable {
-            start_read(coord, cap, len, std::move(cb), attempts_left - 1);
+          retry_delay(attempts_left), [this, coord, cap, len, shared_cb, attempts_left]() {
+            start_read(coord, cap, len, std::move(*shared_cb), attempts_left - 1);
           });
     });
   }
-  node_.nic().expect_read_response(greq, len,
-                                   [this, greq, issued, cb = std::move(cb)](Bytes data, TimePs at) {
-                                     note_op("read", "read_failed", !data.empty(), greq, issued,
-                                             at, read_latency_);
-                                     cb(std::move(data), at);
-                                   });
+  // NACK fail-fast: a denied or not-found read is answered with a typed
+  // control packet instead of silence, so the client need not ride out the
+  // deadline. The huge acks_needed keeps stray ACKs from completing it.
+  tracker_.expect(
+      greq, std::numeric_limits<unsigned>::max(),
+      OpCb([this, coord, cap, len, shared_cb, attempts_left, greq,
+            issued](dfs::DfsError err, TimePs at) mutable {
+        node_.nic().cancel_read(greq);
+        note_op("read", "read_failed", false, greq, issued, at, read_latency_);
+        if (attempts_left == 0 || !transient_error(err)) {
+          (*shared_cb)(err, Bytes{}, at);
+          return;
+        }
+        ++deny_retries_;
+        ++retries_performed_;
+        cluster_.sim().schedule(
+            retry_delay(attempts_left), [this, coord, cap, len, shared_cb, attempts_left]() {
+              start_read(coord, cap, len, std::move(*shared_cb), attempts_left - 1);
+            });
+      }));
+  node_.nic().expect_read_response(
+      greq, len, [this, greq, issued, shared_cb](Bytes data, TimePs at) {
+        tracker_.cancel(greq);
+        note_op("read", "read_failed", true, greq, issued, at, read_latency_);
+        (*shared_cb)(dfs::DfsError::kOk, std::move(data), at);
+      });
   dfs::DfsHeader hdr;
   hdr.op = dfs::OpType::kRead;
   hdr.greq_id = greq;
@@ -427,12 +536,17 @@ void Client::start_read(const dfs::Coord& coord, const auth::Capability& cap, st
 }
 
 void Client::write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
-                          DoneCb cb) {
+                          OpCb cb) {
   start_extent_write(coord, cap, std::move(data), std::move(cb), max_retries_);
 }
 
+void Client::write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
+                          DoneCb cb) {
+  start_extent_write(coord, cap, std::move(data), wrap_done(std::move(cb)), max_retries_);
+}
+
 void Client::start_extent_write(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
-                                DoneCb cb, unsigned attempts_left) {
+                                OpCb cb, unsigned attempts_left) {
   const std::uint64_t greq = next_greq();
   std::function<void(unsigned)> reissue;
   if (attempts_left > 0) {
@@ -454,6 +568,117 @@ void Client::start_extent_write(const dfs::Coord& coord, const auth::Capability&
   wrh.resiliency = dfs::Resiliency::kNone;
   node_.nic().post_message(
       dfs::build_write_packets(node_.id(), coord.node, cluster_.network().mtu(), hdr, wrh, data));
+}
+
+void Client::trim_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint64_t len,
+                         OpCb cb) {
+  start_extent_op(dfs::OpType::kTrim, coord, cap, len, std::move(cb), max_retries_);
+}
+
+void Client::stat_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint64_t len,
+                         OpCb cb) {
+  start_extent_op(dfs::OpType::kStat, coord, cap, len, std::move(cb), max_retries_);
+}
+
+void Client::start_extent_op(dfs::OpType op, const dfs::Coord& coord,
+                             const auth::Capability& cap, std::uint64_t len, OpCb cb,
+                             unsigned attempts_left) {
+  const std::uint64_t greq = next_greq();
+  std::function<void(unsigned)> reissue;
+  if (attempts_left > 0) {
+    reissue = [this, op, coord, cap, len, cb](unsigned attempts) mutable {
+      start_extent_op(op, coord, cap, len, std::move(cb), attempts);
+    };
+  }
+  tracker_.expect(greq, 1,
+                  make_write_completion(greq, std::move(cb), attempts_left, std::move(reissue)));
+  arm_write_deadline(greq);
+  dfs::DfsHeader hdr;
+  hdr.op = op;
+  hdr.greq_id = greq;
+  hdr.client_node = node_.id();
+  hdr.cap = cap;
+  dfs::ExtentRequestHeader erh;
+  erh.addr = coord.addr;
+  erh.len = len;
+  node_.nic().post_message(dfs::build_extent_packets(node_.id(), coord.node, hdr, erh));
+}
+
+// ---- name-based operations ------------------------------------------------
+
+dfs::DfsError Client::create(const std::string& name, std::uint64_t size, FilePolicy policy) {
+  return cluster_.metadata().try_create(name, size, policy).first;
+}
+
+MetadataService::StatInfo Client::stat(const std::string& name) const {
+  return cluster_.metadata().stat(name);
+}
+
+std::vector<std::string> Client::list(const std::string& prefix) const {
+  return cluster_.metadata().list(prefix);
+}
+
+void Client::append(const std::string& name, const auth::Capability& cap, Bytes data, OpCb cb) {
+  const FileLayout* layout = cluster_.metadata().lookup(name);
+  if (!layout) {
+    cb(dfs::DfsError::kNotFound, cluster_.sim().now());
+    return;
+  }
+  if (layout->policy.resiliency == dfs::Resiliency::kErasureCoding) {
+    // EC objects are whole-object writes; there is no incremental tail.
+    cb(dfs::DfsError::kBadArg, cluster_.sim().now());
+    return;
+  }
+  // The reservation is the serialization point: concurrent appends each get
+  // a disjoint [offset, offset+len) before any data-plane traffic starts.
+  const auto [err, offset] = cluster_.metadata().append_reserve(name, data.size());
+  if (err != dfs::DfsError::kOk) {
+    cb(err, cluster_.sim().now());
+    return;
+  }
+  write_at(*layout, cap, offset, std::move(data), std::move(cb));
+}
+
+void Client::remove(const std::string& name, const auth::Capability& cap, OpCb cb) {
+  const FileLayout* layout = cluster_.metadata().lookup(name);
+  if (!layout) {
+    cb(dfs::DfsError::kNotFound, cluster_.sim().now());
+    return;
+  }
+  // Trim every extent of the layout; the namespace entry is dropped only
+  // after all trims acked, so a failure leaves the (possibly degraded) file
+  // visible rather than leaking unreachable live extents.
+  std::uint64_t span = layout->size;
+  if (layout->policy.resiliency == dfs::Resiliency::kErasureCoding) {
+    span = layout->chunk_len;
+  } else if (layout->striped()) {
+    const auto sc = layout->policy.stripe_count;
+    const auto ss = layout->policy.stripe_size;
+    span = ((layout->size + sc - 1) / sc + ss - 1) / ss * ss;  // per-stripe extent
+  }
+  std::vector<dfs::Coord> extents = layout->targets;
+  extents.insert(extents.end(), layout->parity.begin(), layout->parity.end());
+
+  struct Latch {
+    unsigned remaining = 0;
+    dfs::DfsError err = dfs::DfsError::kOk;
+    TimePs last = 0;
+    OpCb cb;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->cb = std::move(cb);
+  latch->remaining = static_cast<unsigned>(extents.size());
+  for (const auto& coord : extents) {
+    trim_extent(coord, cap, span, OpCb([this, latch, name](dfs::DfsError err, TimePs at) {
+                  if (latch->err == dfs::DfsError::kOk) latch->err = err;
+                  latch->last = std::max(latch->last, at);
+                  if (--latch->remaining != 0) return;
+                  if (latch->err == dfs::DfsError::kOk) {
+                    cluster_.metadata().remove(name);
+                  }
+                  latch->cb(latch->err, latch->last);
+                }));
+  }
 }
 
 std::vector<net::Packet> interleave(std::vector<std::vector<net::Packet>> trains) {

@@ -11,16 +11,25 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "services/cluster.hpp"
 
 namespace nadfs::services {
 
 using DoneCb = std::function<void(bool ok, TimePs at)>;
+/// Typed completion: kOk on success, the NACK's wire error or kTimeout on
+/// failure. DfsError is a scoped enum (no bool conversion), so DoneCb and
+/// OpCb overloads resolve unambiguously for lambdas.
+using OpCb = std::function<void(dfs::DfsError err, TimePs at)>;
+/// Typed read completion: data is meaningful only when err == kOk.
+using ReadCb = std::function<void(dfs::DfsError err, Bytes data, TimePs at)>;
 
-/// Counts DFS-level acks per request tag; a NACK fails the request.
+/// Counts DFS-level acks per request tag; a NACK fails the request with the
+/// typed error it carries (wire.hpp DfsError in the control packet's raddr).
 class AckTracker {
  public:
   /// Route the NIC's control packets (kAck/kNack) into this tracker.
@@ -30,10 +39,12 @@ class AckTracker {
   /// hard error (std::logic_error): the old op's callback would be silently
   /// orphaned — exactly the hazard once timeout-retries re-arm tags. Use
   /// replace() when superseding is intended.
+  void expect(std::uint64_t tag, unsigned acks_needed, OpCb cb);
   void expect(std::uint64_t tag, unsigned acks_needed, DoneCb cb);
 
   /// Like expect(), but an existing pending op for `tag` is dropped (its
   /// callback never fires) and counted in replaced_ops().
+  void replace(std::uint64_t tag, unsigned acks_needed, OpCb cb);
   void replace(std::uint64_t tag, unsigned acks_needed, DoneCb cb);
 
   bool pending(std::uint64_t tag) const { return ops_.count(tag) != 0; }
@@ -44,7 +55,7 @@ class AckTracker {
 
   /// Remove a pending op and hand back its callback — the timeout path:
   /// the caller decides whether that means retry or failure.
-  std::optional<DoneCb> take(std::uint64_t tag);
+  std::optional<OpCb> take(std::uint64_t tag);
 
   /// Acks (resp. nacks) that arrived for tags no longer pending — the op
   /// was cancelled by a timeout or already completed. Expected once
@@ -57,7 +68,7 @@ class AckTracker {
   struct Op {
     unsigned needed;
     unsigned got = 0;
-    DoneCb cb;
+    OpCb cb;
   };
   friend class Client;  // bind_metrics registers the counter cells
 
@@ -94,35 +105,83 @@ class Client {
   void debug_set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
 
   /// One-sided DFS write of `data` at object offset 0, policies per the
-  /// layout (plain, replicated, or erasure-coded). `cb` fires when every
-  /// expected DFS ack arrived (or immediately with ok=false on NACK).
+  /// layout (plain, replicated, or erasure-coded). The typed overload's cb
+  /// fires with kOk when every expected DFS ack arrived, or with the NACK's
+  /// wire error / kTimeout after retries are exhausted; the DoneCb overload
+  /// collapses that to ok = (err == kOk).
+  void write(const FileLayout& layout, const auth::Capability& cap, Bytes data, OpCb cb);
   void write(const FileLayout& layout, const auth::Capability& cap, Bytes data, DoneCb cb);
 
   /// Write at a byte offset within the object (plain and replicated
   /// layouts; EC objects are whole-object writes since parity spans all
   /// chunks).
   void write_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+                Bytes data, OpCb cb);
+  void write_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
                 Bytes data, DoneCb cb);
 
   /// One-sided DFS read of `len` bytes at object offset 0 from the primary
-  /// target; the remote completion handler streams the data back. With a
-  /// timeout armed, a read whose retries are exhausted completes with an
-  /// *empty* buffer (zero-length reads are rejected up front, so empty is
-  /// unambiguous — the recovery path keys off it).
+  /// target; the remote completion handler streams the data back. The typed
+  /// overload reports failures as kTimeout (retries exhausted), kBadArg
+  /// (zero-length read) or the NACK's error (e.g. kNotFound for a trimmed
+  /// extent); the legacy overload collapses every failure to an empty
+  /// buffer, which stays unambiguous because zero-length reads never reach
+  /// the wire.
+  void read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len, ReadCb cb);
   void read(const FileLayout& layout, const auth::Capability& cap, std::uint32_t len,
             std::function<void(Bytes, TimePs)> cb);
 
   /// Read at a byte offset within the object.
   void read_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
+               std::uint32_t len, ReadCb cb);
+  void read_at(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
                std::uint32_t len, std::function<void(Bytes, TimePs)> cb);
+
+  // ---- name-based operations (control plane + data plane) ----------------
+  /// Create `name` in the metadata service: kExists on collision, kBadArg
+  /// on bad policy parameters. Control-plane only (no storage traffic).
+  dfs::DfsError create(const std::string& name, std::uint64_t size, FilePolicy policy);
+
+  /// Namespace metadata: existence, capacity, logical length, policy.
+  MetadataService::StatInfo stat(const std::string& name) const;
+
+  /// Sorted names under `prefix` (path-style listing).
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Append `data` at the file's logical tail: the metadata service
+  /// serializes concurrent appends by reserving disjoint offsets, then the
+  /// reserved extent is written through the layout's policy. kNotFound for
+  /// an unknown name, kBadArg past capacity or for EC layouts (whole-object
+  /// writes only).
+  void append(const std::string& name, const auth::Capability& cap, Bytes data, OpCb cb);
+
+  /// Delete `name`: trims every extent of the layout on the storage nodes
+  /// (typed-acked data plane), then drops the namespace entry. kNotFound
+  /// for an unknown name; a trim failure leaves the entry and reports the
+  /// error (the file stays visible, possibly degraded).
+  void remove(const std::string& name, const auth::Capability& cap, OpCb cb);
 
   // ---- extent-level primitives (recovery / repair paths) ----------------
   /// Read [coord.addr, +len) from a specific storage node.
   void read_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
+                   ReadCb cb);
+  void read_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
                    std::function<void(Bytes, TimePs)> cb);
   /// Plain (no-resiliency) DFS write of `data` at a specific coordinate.
+  void write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data, OpCb cb);
   void write_extent(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
                     DoneCb cb);
+
+  /// Tombstone [coord.addr, +len) on a storage node (delete data plane):
+  /// the sPIN CH trims, fences, and acks; later reads of the extent fail
+  /// kNotFound until something writes it again.
+  void trim_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint64_t len,
+                   OpCb cb);
+
+  /// Probe [coord.addr, +len) liveness on a storage node: kOk for a live
+  /// extent, kNotFound for a tombstoned one.
+  void stat_extent(const dfs::Coord& coord, const auth::Capability& cap, std::uint64_t len,
+                   OpCb cb);
 
   /// Failed attempts — denied writes (request-table exhaustion, paper
   /// §III-B.2: "the request is denied, and the client will retry later")
@@ -172,21 +231,24 @@ class Client {
   void write_erasure_coded(const FileLayout& layout, const auth::Capability& cap, Bytes data,
                            std::uint64_t greq);
   void start_write(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
-                   Bytes data, DoneCb cb, unsigned attempts_left);
+                   Bytes data, OpCb cb, unsigned attempts_left);
   void start_extent_write(const dfs::Coord& coord, const auth::Capability& cap, Bytes data,
-                          DoneCb cb, unsigned attempts_left);
+                          OpCb cb, unsigned attempts_left);
   void start_read(const dfs::Coord& coord, const auth::Capability& cap, std::uint32_t len,
-                  std::function<void(Bytes, TimePs)> cb, unsigned attempts_left);
+                  ReadCb cb, unsigned attempts_left);
+  /// Single-packet extent op (kTrim / kStat) with the write retry loop.
+  void start_extent_op(dfs::OpType op, const dfs::Coord& coord, const auth::Capability& cap,
+                       std::uint64_t len, OpCb cb, unsigned attempts_left);
   /// Wrap a write completion with deny/timeout-retry bookkeeping and arm
   /// the deadline event for `greq` (no-op with timeouts disabled).
-  DoneCb make_write_completion(std::uint64_t greq, DoneCb cb, unsigned attempts_left,
-                               std::function<void(unsigned)> reissue);
+  OpCb make_write_completion(std::uint64_t greq, OpCb cb, unsigned attempts_left,
+                             std::function<void(unsigned)> reissue);
   void arm_write_deadline(std::uint64_t greq);
   TimePs retry_delay(unsigned attempts_left) const;
   void striped_write(const FileLayout& layout, const auth::Capability& cap,
-                     std::uint64_t offset, Bytes data, DoneCb cb);
+                     std::uint64_t offset, Bytes data, OpCb cb);
   void striped_read(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
-                    std::uint32_t len, std::function<void(Bytes, TimePs)> cb);
+                    std::uint32_t len, ReadCb cb);
 
   /// Op-attempt span + latency sample; `name`/`failed_name` are static.
   void note_op(const char* name, const char* failed_name, bool ok, std::uint64_t greq,
@@ -206,9 +268,6 @@ class Client {
   std::uint64_t deny_retries_ = 0;
   std::uint64_t timeout_retries_ = 0;
   std::uint64_t op_timeouts_ = 0;
-  // greqs that failed via deadline expiry rather than NACK; consulted (and
-  // erased) by the completion to attribute the retry to the right counter.
-  std::unordered_set<std::uint64_t> timed_out_;
   obs::SimTimeHist write_latency_;
   obs::SimTimeHist read_latency_;
   std::string metrics_prefix_;

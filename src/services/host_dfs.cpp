@@ -40,22 +40,46 @@ void HostDfsService::handle(net::NodeId src, std::uint64_t msg_id, Bytes request
     return;
   }
 
-  // Same policy check the sPIN HH performs, with the same shared key.
-  const auto right =
-      req.dfs.op == dfs::OpType::kWrite ? auth::Right::kWrite : auth::Right::kRead;
-  const std::uint64_t addr =
-      req.dfs.op == dfs::OpType::kWrite ? req.wrh.dest_addr : req.rrh.src_addr;
-  const std::uint64_t len = req.dfs.op == dfs::OpType::kWrite ? req.wrh.total_len : req.rrh.len;
+  // Same policy check the sPIN HH performs, with the same shared key:
+  // mutations need the write right over their extent, probes the read right.
+  const auto right = dfs::op_is_mutation(req.dfs.op) ? auth::Right::kWrite : auth::Right::kRead;
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  switch (req.dfs.op) {
+    case dfs::OpType::kWrite:
+    case dfs::OpType::kAppend:
+      addr = req.wrh.dest_addr;
+      len = req.wrh.total_len;
+      break;
+    case dfs::OpType::kRead:
+      addr = req.rrh.src_addr;
+      len = req.rrh.len;
+      break;
+    case dfs::OpType::kTrim:
+    case dfs::OpType::kStat:
+      addr = req.erh.addr;
+      len = req.erh.len;
+      break;
+  }
   if (cfg_.validate_requests && !authority_.verify(req.dfs.cap, dispatched, right, addr, len)) {
     ++failures_;
     node_.nic().post_control(req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id,
-                             dispatched);
+                             dispatched, static_cast<std::uint64_t>(dfs::DfsError::kDenied));
     return;
   }
 
-  if (req.dfs.op == dfs::OpType::kRead) {
-    handle_read(req, dispatched);
-    return;
+  switch (req.dfs.op) {
+    case dfs::OpType::kRead:
+      handle_read(req, dispatched);
+      return;
+    case dfs::OpType::kTrim:
+      handle_trim(req, dispatched);
+      return;
+    case dfs::OpType::kStat:
+      handle_stat(req, dispatched);
+      return;
+    default:
+      break;  // kWrite / kAppend fall through to the payload path
   }
   const ByteSpan payload(request.data() + req.header_bytes, request.size() - req.header_bytes);
   if (req.wrh.resiliency == dfs::Resiliency::kErasureCoding &&
@@ -131,8 +155,31 @@ void HostDfsService::handle_parity_contribution(const dfs::ParsedRequest& req, B
   parity_.erase(req.dfs.greq_id);
 }
 
+void HostDfsService::handle_trim(const dfs::ParsedRequest& req, TimePs t) {
+  // Tombstone the extent; the ack carries the trim's durability time, so a
+  // client that saw the ack never reads pre-delete data afterwards.
+  const TimePs durable = node_.target().trim(req.erh.addr, req.erh.len, t);
+  node_.nic().post_control(req.dfs.client_node, net::Opcode::kAck, req.dfs.greq_id, durable);
+}
+
+void HostDfsService::handle_stat(const dfs::ParsedRequest& req, TimePs t) {
+  if (node_.target().trimmed(req.erh.addr, req.erh.len)) {
+    node_.nic().post_control(req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id, t,
+                             static_cast<std::uint64_t>(dfs::DfsError::kNotFound));
+    return;
+  }
+  node_.nic().post_control(req.dfs.client_node, net::Opcode::kAck, req.dfs.greq_id, t);
+}
+
 void HostDfsService::handle_read(const dfs::ParsedRequest& req, TimePs t) {
   auto& cpu = node_.cpu();
+  if (node_.target().trimmed(req.rrh.src_addr, req.rrh.len)) {
+    // Reading a deleted extent answers with a typed error instead of the
+    // zero bytes the backing store would return.
+    node_.nic().post_control(req.dfs.client_node, net::Opcode::kNack, req.dfs.greq_id, t,
+                             static_cast<std::uint64_t>(dfs::DfsError::kNotFound));
+    return;
+  }
   const Bytes data = node_.target().read(req.rrh.src_addr, req.rrh.len);
   const TimePs ready = cpu.copy(data.size(), t);
 

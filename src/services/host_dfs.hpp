@@ -39,6 +39,8 @@ class HostDfsService {
   void handle(net::NodeId src, std::uint64_t msg_id, Bytes request, TimePs at);
   void handle_write(const dfs::ParsedRequest& req, ByteSpan payload, TimePs t);
   void handle_read(const dfs::ParsedRequest& req, TimePs t);
+  void handle_trim(const dfs::ParsedRequest& req, TimePs t);
+  void handle_stat(const dfs::ParsedRequest& req, TimePs t);
   void handle_parity_contribution(const dfs::ParsedRequest& req, ByteSpan payload, TimePs t);
 
   StorageNode& node_;

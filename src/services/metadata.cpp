@@ -65,12 +65,25 @@ std::uint64_t MetadataService::allocate_on(std::size_t node_idx, std::uint64_t l
 
 const FileLayout& MetadataService::create(const std::string& name, std::uint64_t size,
                                           FilePolicy policy) {
+  auto [err, layout] = try_create(name, size, policy);
+  switch (err) {
+    case dfs::DfsError::kOk:
+      return *layout;
+    case dfs::DfsError::kExists:
+      throw std::invalid_argument("MetadataService::create: file exists: " + name);
+    default:
+      throw std::invalid_argument("MetadataService::create: bad parameters for " + name);
+  }
+}
+
+std::pair<dfs::DfsError, const FileLayout*> MetadataService::try_create(const std::string& name,
+                                                                        std::uint64_t size,
+                                                                        FilePolicy policy) {
   if (files_.count(name)) {
-    throw std::invalid_argument("MetadataService::create: file exists: " + name);
+    return {dfs::DfsError::kExists, nullptr};
   }
   if (policy.stripe_count > 1 && policy.resiliency != dfs::Resiliency::kNone) {
-    throw std::invalid_argument(
-        "MetadataService::create: striping composes only with plain layouts");
+    return {dfs::DfsError::kBadArg, nullptr};  // striping composes only with plain
   }
   FileLayout layout;
   layout.object_id = next_object_id_++;
@@ -86,7 +99,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
         break;
       }
       if (policy.stripe_size == 0 || policy.stripe_count > eligible_node_count()) {
-        throw std::invalid_argument("MetadataService::create: bad striping parameters");
+        return {dfs::DfsError::kBadArg, nullptr};
       }
       // Per-stripe extent: ceil of the stripe's share of the object.
       const std::uint64_t per_stripe =
@@ -99,7 +112,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
     }
     case dfs::Resiliency::kReplication: {
       if (policy.repl_k == 0 || policy.repl_k > eligible_node_count()) {
-        throw std::invalid_argument("MetadataService::create: bad replication factor");
+        return {dfs::DfsError::kBadArg, nullptr};
       }
       for (unsigned i = 0; i < policy.repl_k; ++i) layout.targets.push_back(place(size));
       break;
@@ -107,7 +120,7 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
     case dfs::Resiliency::kErasureCoding: {
       if (policy.ec_k == 0 || policy.ec_m == 0 ||
           policy.ec_k + policy.ec_m > eligible_node_count()) {
-        throw std::invalid_argument("MetadataService::create: bad EC parameters");
+        return {dfs::DfsError::kBadArg, nullptr};
       }
       layout.chunk_len = (size + policy.ec_k - 1) / policy.ec_k;
       for (unsigned i = 0; i < policy.ec_k; ++i) layout.targets.push_back(place(layout.chunk_len));
@@ -115,7 +128,54 @@ const FileLayout& MetadataService::create(const std::string& name, std::uint64_t
       break;
     }
   }
-  return files_.emplace(name, std::move(layout)).first->second;
+  lengths_[name] = 0;
+  return {dfs::DfsError::kOk, &files_.emplace(name, std::move(layout)).first->second};
+}
+
+dfs::DfsError MetadataService::remove(const std::string& name) {
+  if (files_.erase(name) == 0) return dfs::DfsError::kNotFound;
+  lengths_.erase(name);
+  return dfs::DfsError::kOk;
+}
+
+MetadataService::StatInfo MetadataService::stat(const std::string& name) const {
+  StatInfo info;
+  auto it = files_.find(name);
+  if (it == files_.end()) return info;
+  info.exists = true;
+  info.size = it->second.size;
+  info.policy = it->second.policy;
+  auto lit = lengths_.find(name);
+  info.length = lit == lengths_.end() ? 0 : lit->second;
+  return info;
+}
+
+std::vector<std::string> MetadataService::list(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, layout] : files_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::pair<dfs::DfsError, std::uint64_t> MetadataService::append_reserve(const std::string& name,
+                                                                        std::uint64_t len) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return {dfs::DfsError::kNotFound, 0};
+  if (len == 0) return {dfs::DfsError::kBadArg, 0};
+  std::uint64_t& length = lengths_[name];
+  if (length + len > it->second.size) return {dfs::DfsError::kBadArg, 0};  // over capacity
+  const std::uint64_t offset = length;
+  length += len;
+  return {dfs::DfsError::kOk, offset};
+}
+
+void MetadataService::note_written(const std::string& name, std::uint64_t offset,
+                                   std::uint64_t len) {
+  if (files_.count(name) == 0) return;
+  std::uint64_t& length = lengths_[name];
+  length = std::max(length, offset + len);
 }
 
 dfs::Coord MetadataService::place_next(std::uint64_t len,
@@ -138,12 +198,11 @@ dfs::Coord MetadataService::allocate_spare(std::uint64_t len,
   return place_next(len, avoid);
 }
 
-void MetadataService::update_layout(const std::string& name, const FileLayout& updated) {
+dfs::DfsError MetadataService::update_layout(const std::string& name, const FileLayout& updated) {
   auto it = files_.find(name);
-  if (it == files_.end()) {
-    throw std::invalid_argument("MetadataService::update_layout: unknown file " + name);
-  }
+  if (it == files_.end()) return dfs::DfsError::kNotFound;
   it->second = updated;
+  return dfs::DfsError::kOk;
 }
 
 const FileLayout* MetadataService::lookup(const std::string& name) const {

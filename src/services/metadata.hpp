@@ -100,9 +100,46 @@ class MetadataService {
 
   /// Create an object: places it per `policy` (round-robin across storage
   /// nodes, failure-domain-disjoint targets) and allocates addresses.
+  /// Throws std::invalid_argument on name collision or bad parameters; the
+  /// typed-error twin is try_create().
   const FileLayout& create(const std::string& name, std::uint64_t size, FilePolicy policy);
 
+  /// Typed-error create: kExists on collision, kBadArg on bad policy
+  /// parameters, kOk with the layout on success. Never throws for
+  /// client-attributable faults (placement exhaustion still throws — that
+  /// is a cluster-state error, not a request error).
+  std::pair<dfs::DfsError, const FileLayout*> try_create(const std::string& name,
+                                                         std::uint64_t size, FilePolicy policy);
+
+  /// Drop the object from the namespace. kNotFound when absent. Storage
+  /// extents are the data plane's to reclaim (Client::remove trims them).
+  dfs::DfsError remove(const std::string& name);
+
   const FileLayout* lookup(const std::string& name) const;
+
+  /// Namespace metadata for a file: existence, capacity, logical length
+  /// (high-water mark of writes/appends recorded via note_written), policy.
+  struct StatInfo {
+    bool exists = false;
+    std::uint64_t size = 0;    ///< allocated capacity
+    std::uint64_t length = 0;  ///< logical length (append tail)
+    FilePolicy policy;
+  };
+  StatInfo stat(const std::string& name) const;
+
+  /// Names starting with `prefix`, sorted (path-style metadata listing).
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Reserve `len` bytes at the append tail: returns {kOk, offset} and
+  /// advances the logical length, or {kNotFound/kBadArg, 0}. The reservation
+  /// is what serializes concurrent appends — each client gets a disjoint
+  /// [offset, offset+len) before touching the data plane.
+  std::pair<dfs::DfsError, std::uint64_t> append_reserve(const std::string& name,
+                                                         std::uint64_t len);
+
+  /// Record that [offset, offset+len) holds data (stat() length tracking
+  /// for plain writes; appends go through append_reserve instead).
+  void note_written(const std::string& name, std::uint64_t offset, std::uint64_t len);
 
   /// Capability covering the object's full extent on every target node.
   /// (Targets share the address layout, so one extent grant covers all.)
@@ -125,8 +162,9 @@ class MetadataService {
 
   /// Record a repaired layout (replaces a failed chunk coordinate). The
   /// metadata service owns layout mutations; clients see the new version on
-  /// the next lookup.
-  void update_layout(const std::string& name, const FileLayout& updated);
+  /// the next lookup. kNotFound when the file was deleted meanwhile (a
+  /// rebuild racing a remove must not resurrect the namespace entry).
+  dfs::DfsError update_layout(const std::string& name, const FileLayout& updated);
 
  private:
   std::uint64_t allocate_on(std::size_t node_idx, std::uint64_t len);
@@ -136,6 +174,7 @@ class MetadataService {
   std::vector<net::NodeId> nodes_;
   std::vector<std::uint64_t> alloc_ptr_;  ///< bump allocator per node
   std::unordered_map<std::string, FileLayout> files_;
+  std::unordered_map<std::string, std::uint64_t> lengths_;  ///< logical length by name
   std::set<net::NodeId> excluded_;  ///< failed nodes, out of placement
   std::uint64_t next_object_id_ = 1;
   std::size_t next_placement_ = 0;

@@ -56,15 +56,17 @@ void RecoveryManager::issue_chunk_read(const std::shared_ptr<ChunkGather>& gathe
   const auto& coord = gather->coord(idx);
   client_.read_extent(
       coord, scoped_cap(gather->layout.object_id, auth::Right::kRead, coord, gather->chunk_len),
-      gather->chunk_len, [this, gather, idx](Bytes data, TimePs at) {
+      gather->chunk_len, ReadCb([this, gather, idx](dfs::DfsError err, Bytes data, TimePs at) {
         if (gather->done) return;
         gather->last = std::max(gather->last, at);
-        if (data.empty()) {
-          // The client's deadline gave up on this node (an empty buffer is
-          // the read-failure signal — a node that died *during* collection,
-          // after the monitoring view was snapshotted). Fall back to an
-          // untried survivor, or report the object unrecoverable; either
-          // way the caller is answered, never left hanging.
+        if (err != dfs::DfsError::kOk) {
+          // Typed failure: kTimeout for a node that died *during* collection
+          // (after the monitoring view was snapshotted), kNotFound for a
+          // chunk trimmed by a racing delete. Fall back to an untried
+          // survivor, or report the object unrecoverable; either way the
+          // caller is answered, never left hanging. The old empty-buffer
+          // sentinel is gone — a legitimately all-zero chunk no longer
+          // looks like a failed read.
           if (gather->untried.empty()) {
             gather->done = true;
             gather->cb(std::nullopt, gather->last);
@@ -80,7 +82,7 @@ void RecoveryManager::issue_chunk_read(const std::shared_ptr<ChunkGather>& gathe
           gather->done = true;
           gather->cb(std::move(gather->chunks), gather->last);
         }
-      });
+      }));
 }
 
 void RecoveryManager::degraded_read(const FileLayout& layout,
@@ -154,7 +156,10 @@ void RecoveryManager::rebuild(const std::string& name, const std::set<net::NodeI
         }
 
         if (writes.empty()) {
-          cluster_.metadata().update_layout(name, repaired);
+          if (cluster_.metadata().update_layout(name, repaired) != dfs::DfsError::kOk) {
+            cb(std::nullopt, at);  // deleted while we were collecting chunks
+            return;
+          }
           cb(std::move(repaired), at);
           return;
         }
@@ -170,8 +175,13 @@ void RecoveryManager::rebuild(const std::string& name, const std::set<net::NodeI
                                  progress->ok &= ok;
                                  progress->last = std::max(progress->last, t);
                                  if (--progress->pending == 0) {
-                                   if (progress->ok) {
-                                     cluster_.metadata().update_layout(name, *repaired_ptr);
+                                   // A rebuild racing a delete must not
+                                   // resurrect the namespace entry: when the
+                                   // file vanished meanwhile, update_layout
+                                   // reports kNotFound and the rebuild fails.
+                                   if (progress->ok &&
+                                       cluster_.metadata().update_layout(name, *repaired_ptr) ==
+                                           dfs::DfsError::kOk) {
                                      cb(*repaired_ptr, progress->last);
                                    } else {
                                      cb(std::nullopt, progress->last);

@@ -56,6 +56,19 @@ Bytes HandlerCtx::read_storage(std::uint64_t addr, std::size_t len) {
   return storage_reader_ ? storage_reader_(addr, len) : Bytes(len, 0);
 }
 
+void HandlerCtx::trim_storage(std::uint64_t addr, std::uint64_t len) {
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kTrim;
+  cmd.cycle_offset = cycles_;
+  cmd.addr = addr;
+  cmd.len = static_cast<std::size_t>(len);
+  cmds_.push_back(std::move(cmd));
+}
+
+bool HandlerCtx::storage_trimmed(std::uint64_t addr, std::uint64_t len) {
+  return storage_prober_ ? storage_prober_(addr, len) : false;
+}
+
 void HandlerCtx::notify_host(std::uint64_t code, std::uint64_t arg) {
   Cmd cmd;
   cmd.kind = Cmd::Kind::kNotify;

@@ -87,6 +87,15 @@ class HandlerCtx {
   /// `pkt` must arrive with an empty payload; it is filled functionally.
   void send_from_storage(net::Packet pkt, std::uint64_t addr, std::size_t len);
 
+  /// Tombstone [addr, addr+len) on the storage target (DFS delete data
+  /// plane). Durability is folded into the message's DMA fence like a
+  /// storage write, so a trim-then-ack CH keeps the §III-B.1 guarantee.
+  void trim_storage(std::uint64_t addr, std::uint64_t len);
+
+  /// Functional liveness probe (zero cost beyond the charged instructions):
+  /// true when any byte of [addr, addr+len) is tombstoned.
+  bool storage_trimmed(std::uint64_t addr, std::uint64_t len);
+
   /// Raise an event on the host software's event queue (§III-C).
   void notify_host(std::uint64_t code, std::uint64_t arg);
 
@@ -99,12 +108,14 @@ class HandlerCtx {
 
   // ---- recorded results (consumed by the PsPIN device) -----------------
   struct Cmd {
-    enum class Kind : std::uint8_t { kSend, kSendFromStorage, kDma, kDmaRead, kFence, kNotify };
+    enum class Kind : std::uint8_t {
+      kSend, kSendFromStorage, kDma, kDmaRead, kTrim, kFence, kNotify
+    };
     Kind kind;
     std::uint64_t cycle_offset;  ///< charged cycles when the command issued
     net::Packet pkt;             // kSend
-    std::uint64_t addr = 0;      // kDma / kDmaRead
-    std::size_t len = 0;         // kDmaRead
+    std::uint64_t addr = 0;      // kDma / kDmaRead / kTrim
+    std::size_t len = 0;         // kDmaRead / kTrim
     Bytes data;                  // kDma
     std::uint64_t code = 0;      // kNotify
     std::uint64_t arg = 0;       // kNotify
@@ -113,6 +124,11 @@ class HandlerCtx {
   /// Installed by the device before the functional run: backs read_storage.
   void set_storage_reader(std::function<Bytes(std::uint64_t, std::size_t)> fn) {
     storage_reader_ = std::move(fn);
+  }
+
+  /// Installed by the device before the functional run: backs storage_trimmed.
+  void set_storage_prober(std::function<bool(std::uint64_t, std::uint64_t)> fn) {
+    storage_prober_ = std::move(fn);
   }
 
   std::uint64_t instr() const { return instr_; }
@@ -128,6 +144,7 @@ class HandlerCtx {
   std::uint64_t cycles_ = 0;
   std::vector<Cmd> cmds_;
   std::function<Bytes(std::uint64_t, std::size_t)> storage_reader_;
+  std::function<bool(std::uint64_t, std::uint64_t)> storage_prober_;
 };
 
 /// A packet handler: Listing 1's header_handler / payload_handler /

@@ -38,6 +38,21 @@ class NicServices {
   /// charged at replay via dma_from_storage.
   virtual Bytes peek_storage(std::uint64_t addr, std::size_t len) = 0;
 
+  /// Tombstone [addr, addr+len) on the storage target (DFS delete data
+  /// plane), starting no earlier than `ready`; returns the durable time.
+  /// Default no-op so NIC stand-ins without a trim-capable target compile.
+  virtual TimePs trim_storage(std::uint64_t addr, std::uint64_t len, TimePs ready) {
+    (void)addr, (void)len;
+    return ready;
+  }
+
+  /// Functional (zero-time) liveness probe: true when any byte of the range
+  /// is tombstoned. Backs the handlers' record-phase stat/read checks.
+  virtual bool storage_trimmed(std::uint64_t addr, std::uint64_t len) {
+    (void)addr, (void)len;
+    return false;
+  }
+
   /// Post an event on the host event queue (error conditions, logging,
   /// cleanup notifications — paper §III-C) at time `when`.
   virtual void notify_host(std::uint64_t code, std::uint64_t arg, TimePs when) = 0;

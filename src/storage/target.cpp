@@ -1,5 +1,6 @@
 #include "storage/target.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nadfs::storage {
@@ -27,7 +28,76 @@ TimePs Target::write(std::uint64_t addr, ByteSpan data, TimePs earliest) {
     off += n;
   }
   bytes_written_ += data.size();
+  untrim(addr, data.size());
   return ingest_.reserve(data.size(), earliest).end;
+}
+
+TimePs Target::trim(std::uint64_t addr, std::uint64_t len, TimePs earliest) {
+  if (addr + len > config_.capacity) {
+    throw std::out_of_range("storage::Target::trim: beyond capacity");
+  }
+  if (len == 0) return ingest_.reserve(0, earliest).end;
+  // Zero the backing bytes so a stale page never resurrects deleted data.
+  std::uint64_t pos = addr;
+  std::uint64_t left = len;
+  while (left > 0) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::uint64_t n = std::min<std::uint64_t>(left, kPageSize - in_page);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::fill(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n), 0);
+    }
+    pos += n;
+    left -= n;
+  }
+  // Merge [addr, addr+len) into the tombstone set.
+  std::uint64_t lo = addr;
+  std::uint64_t hi = addr + len;
+  auto it = tombstones_.lower_bound(lo);
+  if (it != tombstones_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) it = prev;
+  }
+  while (it != tombstones_.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = tombstones_.erase(it);
+  }
+  tombstones_[lo] = hi;
+  bytes_trimmed_ += len;
+  // A trim is a metadata-sized command on the ingest unit, not a data burst.
+  return ingest_.reserve(0, earliest).end;
+}
+
+bool Target::trimmed(std::uint64_t addr, std::uint64_t len) const {
+  if (len == 0) return false;
+  const std::uint64_t hi = addr + len;
+  auto it = tombstones_.upper_bound(addr);
+  if (it != tombstones_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > addr) return true;
+  }
+  return it != tombstones_.end() && it->first < hi;
+}
+
+void Target::untrim(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0 || tombstones_.empty()) return;
+  const std::uint64_t lo = addr;
+  const std::uint64_t hi = addr + len;
+  auto it = tombstones_.upper_bound(lo);
+  if (it != tombstones_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) it = prev;
+  }
+  while (it != tombstones_.end() && it->first < hi) {
+    const std::uint64_t t_lo = it->first;
+    const std::uint64_t t_hi = it->second;
+    it = tombstones_.erase(it);
+    if (t_lo < lo) tombstones_[t_lo] = lo;
+    if (t_hi > hi) tombstones_[hi] = t_hi;
+  }
 }
 
 Bytes Target::read(std::uint64_t addr, std::size_t len) const {

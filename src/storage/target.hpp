@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
@@ -34,18 +35,36 @@ class Target {
   /// Functional read; missing (never-written) bytes read as zero.
   Bytes read(std::uint64_t addr, std::size_t len) const;
 
+  /// Tombstone [addr, addr+len): the data-plane half of a DFS delete. The
+  /// backing bytes are zeroed and the range is remembered so a later access
+  /// can be answered kNotFound instead of silently reading zeros; write()
+  /// over a tombstoned range clears it (the extent is live again). Returns
+  /// the time the trim is durable (ingest-unit queueing like a write).
+  TimePs trim(std::uint64_t addr, std::uint64_t len, TimePs earliest = 0);
+
+  /// True when any byte of [addr, addr+len) lies in a tombstoned range.
+  bool trimmed(std::uint64_t addr, std::uint64_t len) const;
+
   std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_trimmed() const { return bytes_trimmed_; }
   std::uint64_t capacity() const { return config_.capacity; }
 
  private:
   static constexpr std::uint64_t kPageBits = 12;  // 4 KiB pages, sparse store
   static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
 
+  void untrim(std::uint64_t addr, std::uint64_t len);
+
   sim::Simulator& sim_;
   TargetConfig config_;
   sim::GapServer ingest_;
   std::unordered_map<std::uint64_t, Bytes> pages_;
+  /// Tombstoned ranges, keyed by start address, non-overlapping (trim
+  /// merges, write punches holes). std::map keeps lookups ordered and
+  /// deterministic.
+  std::map<std::uint64_t, std::uint64_t> tombstones_;  // start -> end
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_trimmed_ = 0;
 };
 
 }  // namespace nadfs::storage

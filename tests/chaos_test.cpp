@@ -621,5 +621,189 @@ TEST(Chaos, WedgedAggregationStateIsReapedByStateGc) {
   }
 }
 
+// ------------------------------------------------ satellite: typed chaos
+
+// Kill the storage node mid-append. The reservation was handed out by the
+// metadata service before the data plane saw a byte, so the append fails
+// *typed* (kTimeout after retries — a dead node never NACKs) and leaves a
+// hole at the reserved offset; nothing hangs and no request state leaks.
+std::uint64_t run_kill_mid_append_scenario(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 4;
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+
+  EXPECT_EQ(writer.create("log", 256 * KiB, FilePolicy{}), dfs::DfsError::kOk) << "seed " << seed;
+  const auto& layout = *cluster.metadata().lookup("log");
+  const auto cap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kReadWrite);
+
+  // First append lands cleanly and establishes the tail.
+  dfs::DfsError err = dfs::DfsError::kTimeout;
+  writer.append("log", cap, random_bytes(64 * KiB, 42),
+                services::OpCb([&](dfs::DfsError e, TimePs) { err = e; }));
+  cluster.sim().run();
+  EXPECT_EQ(err, dfs::DfsError::kOk) << "seed " << seed;
+  EXPECT_EQ(writer.stat("log").length, 64 * KiB);
+  const TimePs t0 = cluster.sim().now();
+
+  // Kill the (single) target mid-transfer of the second append: 64 KiB
+  // takes ~2.6 us to serialize, the jittered kill always lands inside.
+  Rng jitter(seed);
+  net::FaultPlan plan;
+  plan.set_seed(seed);
+  const TimePs kill_at = t0 + ns(200) + jitter.next_below(us(1));
+  plan.kill_node(layout.targets[0].node, kill_at);
+  cluster.network().install_faults(plan);
+
+  writer.set_timeout(us(30));
+  writer.set_retry_policy(1, us(10));
+  bool done = false;
+  dfs::DfsError append_err = dfs::DfsError::kOk;
+  TimePs failed_at = 0;
+  writer.append("log", cap, random_bytes(64 * KiB, 43),
+                services::OpCb([&](dfs::DfsError e, TimePs at) {
+                  done = true;
+                  append_err = e;
+                  failed_at = at;
+                }));
+  cluster.sim().run_until(t0 + ms(1));
+  cluster.sim().run();
+
+  // Typed failure, not a hang and not a silent bool: the dead node never
+  // acks, so after the retry budget the client reports kTimeout.
+  EXPECT_TRUE(done) << "seed " << seed;
+  EXPECT_EQ(append_err, dfs::DfsError::kTimeout) << "seed " << seed;
+  EXPECT_GE(writer.op_timeouts(), 1u);
+  EXPECT_EQ(writer.timeout_retries(), 1u);
+  // The reservation advanced the tail before the data plane failed — the
+  // hole is honest metadata, not corruption.
+  EXPECT_EQ(writer.stat("log").length, 128 * KiB);
+
+  // Quiesce: no orphaned request state on the client.
+  EXPECT_EQ(writer.tracker().pending_count(), 0u);
+  EXPECT_EQ(writer.node().nic().pending_read_count(), 0u);
+
+  Digest d;
+  d.u64(static_cast<std::uint64_t>(append_err));
+  d.u64(failed_at);
+  d.u64(kill_at);
+  d.client(writer);
+  d.u64(writer.tracker().late_acks());
+  d.counters(cluster.network().fault_counters());
+  d.u64(cluster.sim().executed_events());
+  dump_if_failed(cluster, &writer, nullptr);
+  return d.h;
+}
+
+TEST(Chaos, KillMidAppendFailsTypedAndQuiesces) {
+  const std::uint64_t seed = chaos_seed();
+  const auto first = run_kill_mid_append_scenario(seed);
+  if (::testing::Test::HasFatalFailure()) return;
+  const auto second = run_kill_mid_append_scenario(seed);
+  EXPECT_EQ(first, second) << "same seed must replay identically (seed " << seed << ")";
+}
+
+// Delete racing a rebuild. An operator-initiated rebuild of "obj" is
+// collecting chunks when a remove lands: the trims tombstone the extents
+// and drop the namespace entry. Whichever phase the rebuild is in, it must
+// finish with nullopt — update_layout returns kNotFound for a deleted name
+// (the typed twin of the old throw), so the rebuild cannot resurrect the
+// entry — and the remove itself completes kOk.
+std::uint64_t run_delete_during_rebuild_scenario(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 7;
+  cfg.clients = 2;
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+  Client remover(cluster, 1);
+  RecoveryManager recovery(cluster, writer);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+  const std::size_t size = 48000;
+  cluster.metadata().create("obj", size, policy);
+  const auto layout = *cluster.metadata().lookup("obj");  // copy survives the remove
+  const auto wcap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kReadWrite);
+  const auto rcap = cluster.metadata().grant(remover.client_id(), layout, auth::Right::kReadWrite);
+
+  bool v1_ok = false;
+  writer.write(layout, wcap, random_bytes(size, 42), [&](bool ok, TimePs) { v1_ok = ok; });
+  cluster.sim().run();
+  EXPECT_TRUE(v1_ok) << "seed " << seed;
+  const TimePs t0 = cluster.sim().now();
+
+  // Operator-initiated rebuild (suspected node, hand-built failed set) and
+  // a jittered concurrent remove; the race lands in different rebuild
+  // phases on different seeds, the outcome contract is phase-independent.
+  bool rebuild_done = false;
+  std::optional<services::FileLayout> repaired;
+  recovery.rebuild("obj", {layout.targets[0].node},
+                   [&](std::optional<services::FileLayout> l, TimePs) {
+                     rebuild_done = true;
+                     repaired = std::move(l);
+                   });
+
+  Rng jitter(seed);
+  bool remove_done = false;
+  dfs::DfsError remove_err = dfs::DfsError::kTimeout;
+  cluster.sim().schedule(jitter.next_below(us(2)), [&] {
+    remover.remove("obj", rcap, services::OpCb([&](dfs::DfsError e, TimePs) {
+                     remove_done = true;
+                     remove_err = e;
+                   }));
+  });
+  cluster.sim().run_until(t0 + ms(5));
+  cluster.sim().run();
+
+  // The remove won the namespace: all nodes are live so every trim acked.
+  EXPECT_TRUE(remove_done) << "seed " << seed;
+  EXPECT_EQ(remove_err, dfs::DfsError::kOk) << "seed " << seed;
+  // The rebuild finished but could not resurrect the deleted entry.
+  EXPECT_TRUE(rebuild_done) << "seed " << seed;
+  EXPECT_FALSE(repaired.has_value()) << "seed " << seed;
+  EXPECT_EQ(cluster.metadata().lookup("obj"), nullptr);
+  EXPECT_FALSE(writer.stat("obj").exists);
+
+  // The data plane agrees with the namespace: the original extents are
+  // tombstoned, so a read through the stale layout fails typed.
+  dfs::DfsError read_err = dfs::DfsError::kOk;
+  writer.read_extent(layout.targets[1], wcap, 1024,
+                     services::ReadCb([&](dfs::DfsError e, Bytes d, TimePs) {
+                       read_err = e;
+                       EXPECT_TRUE(d.empty());
+                     }));
+  cluster.sim().run();
+  EXPECT_EQ(read_err, dfs::DfsError::kNotFound) << "seed " << seed;
+
+  // Quiesce: nothing pending on either client (the rebuild's reads and
+  // writes all completed or failed fast on typed NACKs).
+  EXPECT_EQ(writer.tracker().pending_count(), 0u);
+  EXPECT_EQ(remover.tracker().pending_count(), 0u);
+  EXPECT_EQ(writer.node().nic().pending_read_count(), 0u);
+  EXPECT_EQ(remover.node().nic().pending_read_count(), 0u);
+
+  Digest d;
+  d.u64(static_cast<std::uint64_t>(remove_err));
+  d.u64(static_cast<std::uint64_t>(read_err));
+  d.u64(repaired.has_value() ? 1 : 0);
+  d.client(writer);
+  d.client(remover);
+  d.u64(writer.tracker().late_acks());
+  d.u64(remover.tracker().late_acks());
+  d.u64(cluster.sim().executed_events());
+  dump_if_failed(cluster, &writer, &remover);
+  return d.h;
+}
+
+TEST(Chaos, DeleteDuringRebuildDoesNotResurrect) {
+  const std::uint64_t seed = chaos_seed();
+  const auto first = run_delete_during_rebuild_scenario(seed);
+  if (::testing::Test::HasFatalFailure()) return;
+  const auto second = run_delete_during_rebuild_scenario(seed);
+  EXPECT_EQ(first, second) << "same seed must replay identically (seed " << seed << ")";
+}
+
 }  // namespace
 }  // namespace nadfs

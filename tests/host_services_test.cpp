@@ -341,9 +341,49 @@ TEST(AckTracker, TakeHandsBackTheCallback) {
   auto cb = tracker.take(4);
   ASSERT_TRUE(cb.has_value());
   EXPECT_FALSE(tracker.pending(4));
-  (*cb)(false, 0);
+  // take() hands back the typed callback; the DoneCb the test registered
+  // sees kTimeout collapsed to ok == false.
+  (*cb)(dfs::DfsError::kTimeout, 0);
   EXPECT_TRUE(fired);
   EXPECT_FALSE(tracker.take(4).has_value());
+}
+
+TEST(AckTracker, NackDeliversTypedWireError) {
+  services::AckTracker tracker;
+  sim::Simulator sim;
+  net::Network net(sim);
+  storage::Target mem(sim);
+  rdma::Nic nic(sim, net, mem);
+  tracker.install(nic);
+
+  // The typed error rides the NACK's raddr field.
+  dfs::DfsError seen = dfs::DfsError::kOk;
+  tracker.expect(11, 1, services::OpCb([&](dfs::DfsError err, TimePs) { seen = err; }));
+  net::Packet nack;
+  nack.opcode = net::Opcode::kNack;
+  nack.user_tag = 11;
+  nack.raddr = static_cast<std::uint64_t>(dfs::DfsError::kNotFound);
+  nic.on_packet(std::move(nack));
+  EXPECT_EQ(seen, dfs::DfsError::kNotFound);
+
+  // A legacy NACK (raddr == 0, pre-typed peer) maps to the old blanket
+  // meaning, kDenied.
+  tracker.expect(12, 1, services::OpCb([&](dfs::DfsError err, TimePs) { seen = err; }));
+  net::Packet legacy;
+  legacy.opcode = net::Opcode::kNack;
+  legacy.user_tag = 12;
+  nic.on_packet(std::move(legacy));
+  EXPECT_EQ(seen, dfs::DfsError::kDenied);
+
+  // Out-of-range codes (corrupt or future peer) degrade to kDenied rather
+  // than forging an enum value.
+  tracker.expect(13, 1, services::OpCb([&](dfs::DfsError err, TimePs) { seen = err; }));
+  net::Packet weird;
+  weird.opcode = net::Opcode::kNack;
+  weird.user_tag = 13;
+  weird.raddr = 0xFFu;
+  nic.on_packet(std::move(weird));
+  EXPECT_EQ(seen, dfs::DfsError::kDenied);
 }
 
 TEST(Client, GreqIdsGloballyUnique) {

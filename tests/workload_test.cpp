@@ -1,0 +1,257 @@
+// Workload-engine suite: samplers, arrival processes, pooled-client
+// multiplexing, multi-tenant weighting, and the engine-level determinism
+// digest. Everything runs against a real simulated cluster — these are the
+// tests that keep bench/workloads.cpp honest.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/workload.hpp"
+
+namespace nadfs {
+namespace {
+
+using services::Cluster;
+using services::ClusterConfig;
+using workload::Engine;
+using workload::EngineConfig;
+using workload::TenantSpec;
+using workload::Zipf;
+
+// --------------------------------------------------------------- Zipf
+
+std::vector<std::uint64_t> histogram(const Zipf& z, std::uint64_t seed, unsigned draws) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(z.n()), 0);
+  for (unsigned i = 0; i < draws; ++i) ++counts[static_cast<std::size_t>(z.sample(rng))];
+  return counts;
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const Zipf z(16, 0.0);
+  const auto counts = histogram(z, 7, 32000);
+  // 2000 expected per rank; all ranks within a loose 3x band.
+  for (const auto c : counts) {
+    EXPECT_GT(c, 1000u);
+    EXPECT_LT(c, 4000u);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnHeadRanks) {
+  const Zipf z(64, 1.2);
+  const auto counts = histogram(z, 7, 50000);
+  EXPECT_GT(counts[0], counts[1]);                 // rank 0 is the hottest
+  EXPECT_GT(counts[0], 8 * std::max<std::uint64_t>(1, counts[63]));
+  // Head (top 8 of 64 ranks) takes more than half the draws at s = 1.2.
+  const auto head = std::accumulate(counts.begin(), counts.begin() + 8, std::uint64_t{0});
+  EXPECT_GT(head, 25000u);
+}
+
+TEST(Zipf, UnitExponentIsWellDefined) {
+  // s == 1 blows up the closed-form approximation; the exact inverse-CDF
+  // table must stay finite, normalized, and in range.
+  const Zipf z(100, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(rng), 100u);
+  const auto counts = histogram(z, 11, 20000);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+// ------------------------------------------------------- arrival processes
+
+EngineConfig small_open_loop(double ops_per_s) {
+  EngineConfig cfg;
+  cfg.users = 1000;
+  cfg.client_slots = 2;
+  cfg.rate_ops_per_s = ops_per_s;
+  cfg.duration = us(500);
+  cfg.seed = 9;
+  return cfg;
+}
+
+TenantSpec small_tenant() {
+  TenantSpec t;
+  t.name = "t";
+  t.objects = 8;
+  t.object_size = 32 * KiB;
+  t.io_bytes = 1 * KiB;
+  return t;
+}
+
+TEST(WorkloadEngine, OpenLoopOfferedTracksConfiguredRate) {
+  ClusterConfig cc;
+  cc.clients = 2;
+  Cluster cluster(cc);
+  // 4e5 ops/s over 500 us of simulated time: 200 arrivals expected.
+  Engine engine(cluster, small_open_loop(4e5), {small_tenant()});
+  engine.run();
+  const auto arrivals = engine.stats().offered + engine.stats().control_ops;
+  EXPECT_GT(arrivals, 120u);  // Poisson sd ~14; these bounds are ~5 sigma
+  EXPECT_LT(arrivals, 300u);
+}
+
+TEST(WorkloadEngine, OpenLoopSameSeedReplaysIdentically) {
+  std::uint64_t digests[2], offered[2];
+  for (int run = 0; run < 2; ++run) {
+    ClusterConfig cc;
+    cc.clients = 2;
+    Cluster cluster(cc);
+    Engine engine(cluster, small_open_loop(2e5), {small_tenant()});
+    engine.run();
+    digests[run] = engine.digest();
+    offered[run] = engine.stats().offered;
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(offered[0], offered[1]);
+}
+
+TEST(WorkloadEngine, SeedChangesTheSchedule) {
+  std::uint64_t digests[2];
+  for (int run = 0; run < 2; ++run) {
+    ClusterConfig cc;
+    cc.clients = 2;
+    Cluster cluster(cc);
+    auto cfg = small_open_loop(2e5);
+    cfg.seed = run == 0 ? 5 : 6;
+    Engine engine(cluster, cfg, {small_tenant()});
+    engine.run();
+    digests[run] = engine.digest();
+  }
+  EXPECT_NE(digests[0], digests[1]);
+}
+
+TEST(WorkloadEngine, DiurnalModulationIsDeterministicAndChangesArrivals) {
+  auto run_with_amp = [](double amp) {
+    ClusterConfig cc;
+    cc.clients = 2;
+    Cluster cluster(cc);
+    auto cfg = small_open_loop(2e5);
+    cfg.diurnal_amplitude = amp;
+    cfg.diurnal_period = us(500);  // one full cycle over the horizon
+    Engine engine(cluster, cfg, {small_tenant()});
+    engine.run();
+    return std::pair<std::uint64_t, std::uint64_t>(engine.digest(),
+                                                   engine.stats().offered +
+                                                       engine.stats().control_ops);
+  };
+  const auto flat = run_with_amp(0.0);
+  const auto wave = run_with_amp(0.9);
+  const auto wave2 = run_with_amp(0.9);
+  EXPECT_EQ(wave, wave2);              // modulated runs replay identically
+  EXPECT_NE(flat.first, wave.first);   // and differ from the flat schedule
+  // Thinning preserves the mean rate: the modulated arrival count stays in
+  // the same statistical band as the flat one (~100 expected).
+  EXPECT_GT(wave.second, 40u);
+  EXPECT_LT(wave.second, 220u);
+}
+
+TEST(WorkloadEngine, ClosedLoopDrainsAtTheHorizon) {
+  ClusterConfig cc;
+  cc.clients = 2;
+  Cluster cluster(cc);
+  EngineConfig cfg;
+  cfg.users = 1000;
+  cfg.client_slots = 2;
+  cfg.rate_ops_per_s = 0.0;  // closed loop
+  cfg.concurrency = 4;
+  cfg.think_time = us(1);
+  cfg.duration = us(300);
+  cfg.seed = 4;
+  Engine engine(cluster, cfg, {small_tenant()});
+  engine.run();
+  const auto& s = engine.stats();
+  EXPECT_GT(s.offered + s.control_ops, 0u);
+  // The loop self-throttles and drains: every issued op completed one way
+  // or the other, nothing is left pending after run().
+  EXPECT_EQ(s.offered, s.completed + s.failed);
+}
+
+TEST(WorkloadEngine, ClosedLoopConcurrencyScalesThroughput) {
+  auto offered_at = [](unsigned concurrency) {
+    ClusterConfig cc;
+    cc.clients = 2;
+    Cluster cluster(cc);
+    EngineConfig cfg;
+    cfg.users = 1000;
+    cfg.client_slots = 2;
+    cfg.concurrency = concurrency;
+    cfg.think_time = us(1);
+    cfg.duration = us(300);
+    cfg.seed = 4;
+    Engine engine(cluster, cfg, {small_tenant()});
+    engine.run();
+    return engine.stats().offered + engine.stats().control_ops;
+  };
+  EXPECT_GT(offered_at(8), 2 * offered_at(1));
+}
+
+// ----------------------------------------------- pooled users and tenants
+
+TEST(WorkloadEngine, MillionUsersMultiplexOverTwoClientSlots) {
+  ClusterConfig cc;
+  cc.clients = 2;  // the whole population shares two live endpoints
+  Cluster cluster(cc);
+  auto cfg = small_open_loop(2e5);
+  cfg.users = 1'000'000;
+  cfg.client_slots = 64;  // clamped to the cluster's two client nodes
+  Engine engine(cluster, cfg, {small_tenant()});
+  engine.run();
+  EXPECT_GT(engine.stats().completed, 0u);
+  EXPECT_EQ(engine.stats().failed, 0u);  // light load, nothing saturates
+}
+
+TEST(WorkloadEngine, TenantWeightsSplitTraffic) {
+  ClusterConfig cc;
+  cc.clients = 2;
+  Cluster cluster(cc);
+  TenantSpec heavy = small_tenant();
+  heavy.name = "heavy";
+  heavy.weight = 9.0;
+  TenantSpec light = small_tenant();
+  light.name = "light";
+  light.weight = 1.0;
+  Engine engine(cluster, small_open_loop(4e5), {heavy, light});
+  engine.run();
+  const auto& per = engine.stats().per_tenant_ops;
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_GT(per[0], 0u);
+  EXPECT_GT(per[1], 0u);
+  // 9:1 weights; allow wide sampling noise but demand a clear skew.
+  EXPECT_GT(per[0], 4 * per[1]);
+}
+
+TEST(WorkloadEngine, SetupPopulatesTheNamespaceOnce) {
+  ClusterConfig cc;
+  cc.clients = 2;
+  Cluster cluster(cc);
+  auto tenant = small_tenant();
+  tenant.objects = 5;
+  Engine engine(cluster, small_open_loop(1e5), {tenant});
+  engine.setup();
+  EXPECT_EQ(cluster.metadata().list("t/").size(), 5u);
+  engine.run();  // run() must not re-create (create would now return kExists)
+  EXPECT_EQ(cluster.metadata().list("t/").size(), 5u);
+}
+
+TEST(WorkloadEngine, TypedErrorsSurfaceInFailureCounts) {
+  // An append-only tenant against tiny objects: the tails fill up and
+  // further reservations fail kBadArg — the typed error comes back through
+  // the engine's by_error histogram instead of vanishing into a bool.
+  ClusterConfig cc;
+  cc.clients = 2;
+  Cluster cluster(cc);
+  TenantSpec tenant = small_tenant();
+  tenant.objects = 2;
+  tenant.object_size = 4 * KiB;
+  tenant.io_bytes = 2 * KiB;
+  tenant.mix = {0.0, 0.0, 1.0, 0.0};  // append-only
+  Engine engine(cluster, small_open_loop(4e6), {tenant});
+  engine.run();
+  const auto& s = engine.stats();
+  EXPECT_GT(s.failed, 0u);
+  EXPECT_EQ(s.by_error[static_cast<std::size_t>(dfs::DfsError::kBadArg)], s.failed);
+  EXPECT_EQ(s.completed + s.failed, s.offered);
+}
+
+}  // namespace
+}  // namespace nadfs
