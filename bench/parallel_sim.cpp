@@ -1,0 +1,212 @@
+// Domain-parallel simulation core: wall-clock scaling sweep (DESIGN.md §3f).
+//
+// One heavy open-loop read/write workload, simulated repeatedly under an
+// increasing storage-domain count: D=1 is the serial event core (the kOff
+// baseline), D=2/4/8 run the conservative windowed scheduler with D storage
+// lanes plus per-client lanes (the aggressive mapping). The simulated
+// schedule is provably identical across every point — the bench asserts the
+// workload digest, offered/completed counts, and executed-event totals are
+// bit-equal before it reports any speedup, so a scaling win can never come
+// from simulating something different.
+//
+// Reported per point: domains, worker threads, wall-clock ms, events/sec,
+// and speedup vs the D=1 serial baseline. In full mode the bench asserts
+// >= 2x speedup at the best point with 4+ domains — but only when the
+// machine can physically deliver one (hardware_concurrency >= 4; on a
+// 1-core CI box every extra domain is pure overhead and the digest gate is
+// the meaningful check). NADFS_BENCH_SMOKE=1 shrinks the horizon for CI
+// and also skips the speedup assertion (startup overhead dominates
+// sub-millisecond runs). The digest-equality gate always applies. After
+// writing BENCH_parallel_sim.json the report is re-read and validated with
+// the strict obs JSON parser.
+//
+// Two levels of parallelism would multiply (bench/report.hpp): this bench
+// measures *intra-run* scaling, so it pins the sweep pool to one thread —
+// every run gets the whole machine.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "obs/json.hpp"
+#include "workload/workload.hpp"
+
+using namespace nadfs;
+using namespace nadfs::bench;
+
+namespace {
+
+struct Point {
+  unsigned storage_domains = 0;  ///< 0 = serial baseline
+  std::size_t total_lanes = 1;
+  unsigned threads = 1;
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+};
+
+Point run_point(unsigned storage_domains, bool smoke) {
+  services::ClusterConfig cfg;
+  cfg.storage_nodes = 8;
+  cfg.clients = 4;
+  // The paper's 20 ns SST link latency is the null-message lookahead; the
+  // cluster keeps it so the sweep measures the real (narrowest) horizon.
+  if (storage_domains == 0) {
+    cfg.parallel.mode = services::SimParallelConfig::Mode::kOff;
+  } else {
+    cfg.parallel.mode = services::SimParallelConfig::Mode::kOn;
+    cfg.parallel.storage_domains = storage_domains;
+    cfg.parallel.per_client_domains = true;
+  }
+  services::Cluster cluster(cfg);
+
+  workload::TenantSpec tenant;
+  tenant.name = "par";
+  tenant.objects = 64;
+  tenant.object_size = 256 * KiB;
+  tenant.io_bytes = 16 * KiB;
+  tenant.zipf_s = 0.0;  // uniform: spread load over every storage lane
+  tenant.mix = {0.5, 0.5, 0.0, 0.0};  // read/write only (aggressive-safe)
+
+  workload::EngineConfig ecfg;
+  ecfg.users = 1'000'000;
+  ecfg.client_slots = cfg.clients;
+  // 320 Gb/s offered at 16 KiB/op: a saturating incast across all 8 nodes.
+  ecfg.rate_ops_per_s = 320e9 / (8.0 * static_cast<double>(tenant.io_bytes));
+  ecfg.duration = smoke ? us(200) : ms(1);
+  ecfg.seed = 42;
+
+  workload::Engine engine(cluster, ecfg, {tenant});
+  engine.setup();  // object creation is serial control-plane work: keep it
+                   // outside the timed window
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  MetricsAccumulator::instance().add(cluster.metrics().snapshot());
+
+  Point p;
+  p.storage_domains = storage_domains;
+  p.total_lanes = cluster.parallel_enabled() ? cluster.sim().domain_count() : 1;
+  p.threads = cluster.parallel_enabled() ? cluster.sim().parallel_threads() : 1;
+  p.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  p.events = cluster.sim().executed_events();
+  p.digest = engine.digest();
+  p.offered = engine.stats().offered;
+  p.completed = engine.stats().completed;
+  return p;
+}
+
+bool validate_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  const auto doc = obs::json_parse(ss.str(), &err);
+  if (!doc) {
+    std::fprintf(stderr, "FAIL: %s is not valid JSON: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  const auto* rows = doc->find("rows");
+  if (!rows || rows->kind != obs::JsonValue::Kind::kArray || rows->arr.size() < 4) {
+    std::fprintf(stderr, "FAIL: %s has fewer than 4 rows\n", path.c_str());
+    return false;
+  }
+  bool speedup_row = false;
+  for (const auto& row : rows->arr) {
+    if (row.kind == obs::JsonValue::Kind::kString &&
+        row.str.rfind("parallel_sim_speedup,", 0) == 0) {
+      speedup_row = true;
+    }
+  }
+  if (!speedup_row) {
+    std::fprintf(stderr, "FAIL: %s has no parallel_sim_speedup row\n", path.c_str());
+    return false;
+  }
+  std::printf("validated %s: %zu rows\n", path.c_str(), rows->arr.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("NADFS_BENCH_SMOKE") != nullptr;
+  print_header("Domain-parallel simulation scaling (conservative windows)",
+               "same schedule at every point, digest-checked; speedup vs serial");
+
+  // D=0 is the serial kOff baseline (reported as 1 domain); the rest run
+  // the partitioned core with D storage lanes + control/fabric/client lanes.
+  const std::vector<unsigned> sweep = {0, 2, 4, 8};
+
+  SweepReport report("parallel_sim");
+  SweepRunner runner(1);  // intra-run parallelism only: one point at a time
+  std::vector<std::function<Point()>> points;
+  points.reserve(sweep.size());
+  for (const unsigned d : sweep) {
+    points.push_back([d, smoke] { return run_point(d, smoke); });
+  }
+  const auto pts = runner.run(points);
+
+  const Point& base = pts.front();
+  std::printf("%8s %8s %8s %12s %14s %10s %8s\n", "domains", "lanes", "threads", "wall ms",
+              "events", "Mev/s", "speedup");
+  char csv[192];
+  bool identical = true;
+  double best_speedup_4p = 0.0;
+  for (const Point& p : pts) {
+    const double speedup = p.wall_ms > 0 ? base.wall_ms / p.wall_ms : 0.0;
+    if (p.storage_domains >= 4) best_speedup_4p = std::max(best_speedup_4p, speedup);
+    std::printf("%8u %8zu %8u %12.1f %14llu %10.2f %7.2fx\n",
+                p.storage_domains == 0 ? 1 : p.storage_domains, p.total_lanes, p.threads,
+                p.wall_ms, static_cast<unsigned long long>(p.events),
+                p.wall_ms > 0 ? static_cast<double>(p.events) / (p.wall_ms * 1e3) : 0.0,
+                speedup);
+    std::snprintf(csv, sizeof csv, "parallel_sim,%u,%zu,%u,%.3f,%llu,%016llx,%.3f",
+                  p.storage_domains == 0 ? 1 : p.storage_domains, p.total_lanes, p.threads,
+                  p.wall_ms, static_cast<unsigned long long>(p.events),
+                  static_cast<unsigned long long>(p.digest), speedup);
+    std::printf("CSV:%s\n", csv);
+    report.add_csv(csv);
+    if (p.digest != base.digest || p.events != base.events || p.offered != base.offered ||
+        p.completed != base.completed) {
+      std::fprintf(stderr,
+                   "FAIL: schedule diverged at %u domains (digest %016llx vs %016llx, "
+                   "events %llu vs %llu)\n",
+                   p.storage_domains, static_cast<unsigned long long>(p.digest),
+                   static_cast<unsigned long long>(base.digest),
+                   static_cast<unsigned long long>(p.events),
+                   static_cast<unsigned long long>(base.events));
+      identical = false;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::snprintf(csv, sizeof csv, "parallel_sim_speedup,best_4plus_domains,%.3f,%s,hw_threads=%u",
+                best_speedup_4p, identical ? "digests_equal" : "DIGESTS_DIVERGED", hw);
+  std::printf("CSV:%s\n", csv);
+  report.add_csv(csv);
+
+  report.finish(runner.threads(), pts.size());
+  if (!validate_report("BENCH_parallel_sim.json")) return 1;
+  if (!identical) return 1;
+  if (!smoke && hw >= 4 && best_speedup_4p < 2.0) {
+    std::fprintf(stderr, "FAIL: best speedup at 4+ domains is %.2fx, expected >= 2x\n",
+                 best_speedup_4p);
+    return 1;
+  }
+  if (!smoke && hw < 4) {
+    std::printf("note: %u hardware thread(s) — speedup assertion skipped, "
+                "digest gate enforced\n", hw);
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -13,6 +14,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -62,6 +64,16 @@ class MetricsAccumulator {
 /// Thread count: explicit argument > NADFS_BENCH_THREADS env var >
 /// std::thread::hardware_concurrency(). NADFS_BENCH_THREADS=1 forces the
 /// serial path (useful for A/B-ing output equivalence).
+///
+/// Interaction with domain-parallel simulation (DESIGN.md §3f): the two
+/// levels of parallelism multiply. Each sweep point's Cluster may itself
+/// spin up NADFS_SIM_THREADS workers when the partitioned core is enabled
+/// (NADFS_SIM_PARALLEL / SimParallelConfig), so a pool of P points each
+/// running W sim workers wants P*W <= hardware_concurrency. Benches that
+/// measure *intra-run* scaling (bench/parallel_sim.cpp) construct
+/// SweepRunner(1) so the per-run speedup is not confounded by point-level
+/// parallelism; throughput benches that sweep many independent points keep
+/// the default pool and leave the sim serial.
 class SweepRunner {
  public:
   explicit SweepRunner(unsigned threads = 0) {
@@ -146,9 +158,13 @@ class SweepReport {
     }
     std::fprintf(f, "%s],\n", csv_.empty() ? "" : "\n  ");
     // Summed cluster-metric snapshots across every measured point (empty
-    // object when the bench never harvested a cluster).
+    // object when the bench never harvested a cluster). Histogram families
+    // additionally get derived .p50_ns/.p99_ns percentile entries —
+    // summing log2 buckets across snapshots yields a valid merged
+    // histogram, so the percentiles cover every measured point.
     const auto& acc = MetricsAccumulator::instance();
-    const auto totals = acc.totals();
+    auto totals = acc.totals();
+    add_hist_percentiles(totals);
     std::fprintf(f, "  \"metric_snapshots\": %zu,\n  \"metrics\": {", acc.snapshots());
     std::size_t i = 0;
     for (const auto& [metric, value] : totals) {
@@ -160,6 +176,56 @@ class SweepReport {
   }
 
  private:
+  /// Derive p50/p99 (in ns) for every histogram family in `totals` and
+  /// insert them as "<base>.p50_ns"/"<base>.p99_ns". A family is a
+  /// "<base>.count" entry with a "<base>.max_ps" sibling (only
+  /// MetricRegistry's histogram flattening emits that pair); its buckets
+  /// are the nonzero "<base>.b<k>" entries, where bucket k counts
+  /// durations with floor(log2(ns)) == k, i.e. the span [2^k, 2^{k+1}) ns
+  /// (bucket 0 spans [0, 2)). Linear interpolation within the bucket that
+  /// crosses the target rank.
+  static void add_hist_percentiles(std::map<std::string, long long>& totals) {
+    std::vector<std::pair<std::string, std::pair<long long, long long>>> derived;
+    for (const auto& [name, count] : totals) {
+      const std::string_view suffix = ".count";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+      const std::string base = name.substr(0, name.size() - suffix.size());
+      if (count <= 0 || totals.find(base + ".max_ps") == totals.end()) continue;
+      std::vector<long long> buckets(48, 0);
+      for (std::size_t k = 0; k < buckets.size(); ++k) {
+        const auto it = totals.find(base + ".b" + std::to_string(k));
+        if (it != totals.end()) buckets[k] = it->second;
+      }
+      derived.emplace_back(base, std::make_pair(percentile_ns(buckets, count, 0.50),
+                                                percentile_ns(buckets, count, 0.99)));
+    }
+    for (const auto& [base, p] : derived) {
+      totals[base + ".p50_ns"] = p.first;
+      totals[base + ".p99_ns"] = p.second;
+    }
+  }
+
+  static long long percentile_ns(const std::vector<long long>& buckets, long long count,
+                                 double q) {
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+      if (buckets[k] <= 0) continue;
+      const double prev = cum;
+      cum += static_cast<double>(buckets[k]);
+      if (cum < target) continue;
+      const double lo = k == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << k);
+      const double hi = static_cast<double>(std::uint64_t{1} << (k + 1));
+      const double frac =
+          std::min(1.0, std::max(0.0, (target - prev) / static_cast<double>(buckets[k])));
+      return static_cast<long long>(lo + (hi - lo) * frac + 0.5);
+    }
+    return 0;
+  }
+
   static std::string json_escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());

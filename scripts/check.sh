@@ -80,6 +80,28 @@ for seed in 1 7; do
     -R 'DfsOps|DfsModel|WorkloadEngine|Zipf'
 done
 
+# Domain-parallel core gates (DESIGN.md §3f): the determinism pins, the
+# partition/chaos scenarios, and the parallel==serial differential suite
+# must hold with the partitioned scheduler forced OFF and forced ON (the
+# env knob flips every kAuto-mode cluster, i.e. all suites that don't pin
+# a mode themselves), under two chaos seeds. A digest mismatch here means
+# the parallel merge rule diverged from serial (when, seq) order.
+for par in 0 1; do
+  for seed in 1 7; do
+    echo "== parallel-sim gates under NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed"
+    NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" \
+      --output-on-failure -R 'Determinism|Partition|Chaos|ParallelSim'
+  done
+done
+
+# Domain-parallel scaling bench smoke: sweeps 1/2/4/8 storage domains over
+# the same seeded workload, asserts the workload digest and event count are
+# bit-identical at every point, and re-reads BENCH_parallel_sim.json
+# through the strict obs JSON parser. (The >= 2x wall-clock assertion only
+# arms on hosts with >= 4 hardware threads, and never in smoke mode.)
+echo "== parallel-sim bench smoke (BENCH_parallel_sim.json validation)"
+(cd "$BUILD_DIR" && NADFS_BENCH_SMOKE=1 "./bench/parallel_sim" > /dev/null)
+
 # Workload-engine smoke: the goodput-vs-offered-load bench in smoke mode
 # (2 variants, 3 sweep points). The bench re-reads BENCH_workloads.json
 # through the strict obs JSON parser and exits nonzero when the report is

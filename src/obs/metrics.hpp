@@ -14,6 +14,7 @@
 //    plain counters are the pre-existing domain counters and stay.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -33,27 +34,49 @@ inline constexpr bool kObsEnabled = true;
 /// Monotonic counter. Drop-in replacement for a `std::uint64_t` struct
 /// member: increments, compound adds, and implicit reads all behave like
 /// the raw integer did.
+///
+/// Increments are relaxed atomics: under the domain-parallel simulator
+/// core several lanes may bump a shared counter (e.g. net tx_drops from
+/// many source nodes) within one window. Addition is commutative, so the
+/// value after a window barrier — and every registry snapshot, which runs
+/// with lanes parked — is identical to the serial schedule's. Relaxed RMW
+/// on x86 is a lock-prefixed add: a couple of ns on an uncontended line,
+/// invisible against the cost of an event.
 class Counter {
  public:
   constexpr Counter() = default;
   constexpr Counter(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
 
+  // Copyable like the plain integer it replaces (counter structs are
+  // value-reset with `{}`, hop-counter vectors get resized): a copy is a
+  // relaxed load into a fresh cell.
+  Counter(const Counter& other) : v_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    v_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
   Counter& operator++() {
-    ++v_;
+    v_.fetch_add(1, std::memory_order_relaxed);
     return *this;
   }
   Counter& operator+=(std::uint64_t n) {
-    v_ += n;
+    v_.fetch_add(n, std::memory_order_relaxed);
     return *this;
   }
-  void inc(std::uint64_t n = 1) { v_ += n; }
-  constexpr std::uint64_t value() const { return v_; }
-  constexpr operator std::uint64_t() const { return v_; }  // NOLINT
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  operator std::uint64_t() const { return value(); }  // NOLINT
 
-  const std::uint64_t* cell() const { return &v_; }
+  /// Registry view of the raw cell. std::atomic<uint64_t> is
+  /// layout-compatible with its value type (asserted below); snapshots
+  /// read it with lanes parked, so a plain load is exact.
+  const std::uint64_t* cell() const { return reinterpret_cast<const std::uint64_t*>(&v_); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
+  static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
 };
 
 /// Histogram over simulated durations (picoseconds). Buckets are

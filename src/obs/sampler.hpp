@@ -34,9 +34,12 @@ class Sampler {
 
   /// Sample every `interval` of simulated time, first row one interval
   /// from now. Stop (or destroy) before expecting the event queue to
-  /// drain — see sim::Periodic.
+  /// drain — see sim::Periodic. On a partitioned simulator the tick runs
+  /// as a fence (probes read gauges across every domain; the lanes must
+  /// be parked) — on a serial one that is a plain event, so ordering is
+  /// identical in both modes.
   void start(TimePs interval) {
-    ticker_.start(interval, [this] { sample_now(); });
+    ticker_.start(interval, [this] { sample_now(); }, sim_.partitioned());
   }
 
   void stop() { ticker_.stop(); }

@@ -61,6 +61,7 @@ Engine::Engine(services::Cluster& cluster, EngineConfig cfg, std::vector<TenantS
   }
   if (total_weight_ <= 0.0) throw std::invalid_argument("workload::Engine: zero total weight");
   stats_.per_tenant_ops.assign(tenants_.size(), 0);
+  shards_.resize(clients_.size());
 }
 
 Engine::~Engine() = default;
@@ -88,12 +89,28 @@ void Engine::setup() {
 
 void Engine::run() {
   setup();
+  if (cluster_.per_client_domains()) {
+    // Aggressive per-client-lane mapping: slot op streams execute
+    // concurrently, so only workloads whose cross-slot interactions are
+    // commutative are sound (DESIGN.md §3f). Namespace and append-tail
+    // mutations order-depend; stat reads the append tail mid-run.
+    if (cfg_.rate_ops_per_s <= 0.0) {
+      throw std::logic_error("workload::Engine: per-client domains require the open loop");
+    }
+    for (const auto& t : tenants_) {
+      if (t.spec.mix.append > 0.0 || t.spec.mix.stat > 0.0) {
+        throw std::logic_error(
+            "workload::Engine: per-client domains require a read/write-only op mix");
+      }
+    }
+  }
   if (cfg_.rate_ops_per_s > 0.0) {
     schedule_open_loop();
   } else {
     start_closed_loop();
   }
   cluster_.sim().run();
+  merge_shards();
 }
 
 void Engine::schedule_open_loop() {
@@ -105,6 +122,7 @@ void Engine::schedule_open_loop() {
   const double rate_max = cfg_.rate_ops_per_s * (1.0 + amp);
   const double mean_gap_ps = 1e12 / rate_max;
   const double period = static_cast<double>(std::max<TimePs>(1, cfg_.diurnal_period));
+  std::vector<TimePs> arrivals;
   double t = 0.0;
   while (true) {
     const double u = rng_.next_double();
@@ -113,7 +131,17 @@ void Engine::schedule_open_loop() {
     const double phase = 2.0 * 3.14159265358979323846 * t / period;
     const double accept = (1.0 + amp * std::sin(phase)) / (1.0 + amp);
     if (rng_.next_double() >= accept) continue;
-    cluster_.sim().schedule_at(static_cast<TimePs>(t), [this] { issue_one(-1); });
+    arrivals.push_back(static_cast<TimePs>(t));
+  }
+  // Pre-draw each arrival's op in arrival order — exactly the order the
+  // event loop consumed the Rng when ops were sampled at event time, so
+  // the schedule (and every digest) is unchanged. Each op is pinned to
+  // its slot's lane; under the serial core and the conservative mapping
+  // domain_of_client() is 0 and this degenerates to plain scheduling.
+  for (const TimePs at : arrivals) {
+    const PlannedOp op = draw_planned_op();
+    cluster_.sim().schedule_at_domain(cluster_.domain_of_client(op.slot), at,
+                                      [this, op] { execute_planned(op); });
   }
 }
 
@@ -126,9 +154,10 @@ void Engine::issue_session_op(unsigned session) {
   issue_one(static_cast<int>(session));
 }
 
-void Engine::issue_one(int session) {
+Engine::PlannedOp Engine::draw_planned_op() {
   // Sample the flow: tenant by weight, logical user uniformly from the
   // population, object by the tenant's popularity skew, op by the mix.
+  PlannedOp p;
   const double w = rng_.next_double() * total_weight_;
   std::size_t ti = 0;
   while (ti + 1 < tenants_.size() && w >= tenants_[ti].cum_weight) ++ti;
@@ -136,22 +165,51 @@ void Engine::issue_one(int session) {
   ++stats_.per_tenant_ops[ti];
   const std::uint64_t user = rng_.next_below(std::max<std::uint64_t>(1, cfg_.users));
   const std::uint64_t oi = tenant.zipf->sample(rng_);
-  Object& obj = tenant.objects[static_cast<std::size_t>(oi)];
-  services::Client& client = *clients_[user % clients_.size()];
+  p.tenant = static_cast<std::uint32_t>(ti);
+  p.object = static_cast<std::uint32_t>(oi);
+  p.slot = static_cast<std::uint32_t>(user % clients_.size());
+  p.fill = static_cast<std::uint8_t>(user ^ oi);
 
   const OpMix& mix = tenant.spec.mix;
   const double mix_total =
       std::max(1e-12, mix.read + mix.write + mix.append + mix.stat);
   const double pick = rng_.next_double() * mix_total;
-  const auto len = static_cast<std::uint32_t>(
+  p.len = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(tenant.spec.io_bytes, tenant.spec.object_size));
-  const TimePs issued = cluster_.sim().now();
 
   if (pick >= mix.read + mix.write + mix.append) {
+    p.op = 4;  // stat
+  } else if (pick < mix.read) {
+    p.op = 1;
+    p.offset = rng_.next_below(tenant.spec.object_size - p.len + 1);
+  } else if (pick < mix.read + mix.write) {
+    p.op = 0;
+    // EC and whole-object layouts write at offset 0; others anywhere.
+    if (tenant.spec.policy.resiliency != dfs::Resiliency::kErasureCoding) {
+      p.offset = rng_.next_below(tenant.spec.object_size - p.len + 1);
+    }
+  } else {
+    p.op = 2;  // append
+  }
+  return p;
+}
+
+void Engine::execute_planned(const PlannedOp& p, int session) {
+  Tenant& tenant = tenants_[p.tenant];
+  Object& obj = tenant.objects[p.object];
+  services::Client& client = *clients_[p.slot];
+  Shard& shard = shards_[p.slot];
+  const std::size_t ti = p.tenant;
+  const std::uint64_t oi = p.object;
+  const std::uint32_t len = p.len;
+  const std::uint32_t slot = p.slot;
+  const TimePs issued = cluster_.sim().now();
+
+  if (p.op == 4) {
     // stat: metadata-served, completes inline (no data-plane traffic).
     const auto info = client.stat(obj.name);
-    ++stats_.control_ops;
-    fold_digest(ti, oi, 4, info.length, info.exists ? 0 : 1, issued);
+    ++shard.control_ops;
+    shard.digest += completion_hash(ti, oi, 4, info.length, info.exists ? 0 : 1, issued);
     if (session >= 0) {
       cluster_.sim().schedule(std::max<TimePs>(1, cfg_.think_time),
                               [this, session] { issue_session_op(static_cast<unsigned>(session)); });
@@ -159,64 +217,63 @@ void Engine::issue_one(int session) {
     return;
   }
 
-  ++stats_.offered;
-  stats_.offered_bytes += len;
-  auto on_done = [this, ti, oi, len, session, issued](unsigned op) {
-    return services::OpCb([this, ti, oi, op, len, session, issued](dfs::DfsError err, TimePs at) {
-      complete(ti, oi, op, len, session, err, issued, at);
-    });
-  };
-
-  if (pick < mix.read) {
-    const std::uint64_t max_off = tenant.spec.object_size - len;
-    const std::uint64_t offset = rng_.next_below(max_off + 1);
-    client.read_at(obj.layout, obj.cap, offset, len,
-                   services::ReadCb([this, ti, oi, len, session, issued](dfs::DfsError err,
-                                                                         Bytes, TimePs at) {
-                     complete(ti, oi, 1, len, session, err, issued, at);
+  ++shard.offered;
+  shard.offered_bytes += len;
+  if (p.op == 1) {
+    client.read_at(obj.layout, obj.cap, p.offset, len,
+                   services::ReadCb([this, ti, oi, len, session, slot, issued](dfs::DfsError err,
+                                                                               Bytes, TimePs at) {
+                     complete(ti, oi, 1, len, session, slot, err, issued, at);
                    }));
     return;
   }
 
-  Bytes data(len, static_cast<std::uint8_t>(user ^ oi));
-  if (pick < mix.read + mix.write) {
-    // EC and whole-object layouts write at offset 0; others anywhere.
-    std::uint64_t offset = 0;
-    if (tenant.spec.policy.resiliency != dfs::Resiliency::kErasureCoding) {
-      offset = rng_.next_below(tenant.spec.object_size - len + 1);
-    }
-    client.write_at(obj.layout, obj.cap, offset, std::move(data), on_done(0));
+  Bytes data(len, p.fill);
+  auto on_done = [this, ti, oi, len, session, slot, issued](unsigned op) {
+    return services::OpCb(
+        [this, ti, oi, op, len, session, slot, issued](dfs::DfsError err, TimePs at) {
+          complete(ti, oi, op, len, session, slot, err, issued, at);
+        });
+  };
+  if (p.op == 0) {
+    client.write_at(obj.layout, obj.cap, p.offset, std::move(data), on_done(0));
     return;
   }
   client.append(obj.name, obj.cap, std::move(data), on_done(2));
 }
 
+void Engine::issue_one(int session) { execute_planned(draw_planned_op(), session); }
+
 void Engine::complete(std::size_t tenant_idx, std::uint64_t object_idx, unsigned op,
-                      std::uint32_t bytes, int session, dfs::DfsError err, TimePs issued,
-                      TimePs at) {
+                      std::uint32_t bytes, int session, std::uint32_t slot, dfs::DfsError err,
+                      TimePs issued, TimePs at) {
+  Shard& shard = shards_[slot];
   if (err == dfs::DfsError::kOk) {
-    ++stats_.completed;
-    stats_.bytes_ok += bytes;
+    ++shard.completed;
+    shard.bytes_ok += bytes;
     const TimePs lat = at - issued;
-    stats_.sum_latency += lat;
-    stats_.max_latency = std::max(stats_.max_latency, lat);
+    shard.sum_latency += lat;
+    shard.max_latency = std::max(shard.max_latency, lat);
   } else {
-    ++stats_.failed;
+    ++shard.failed;
     const auto code = static_cast<std::size_t>(err);
-    if (code < stats_.by_error.size()) ++stats_.by_error[code];
+    if (code < shard.by_error.size()) ++shard.by_error[code];
   }
-  stats_.last_completion = std::max(stats_.last_completion, at);
-  fold_digest(tenant_idx, object_idx, op, bytes, static_cast<std::uint64_t>(err), at);
+  shard.last_completion = std::max(shard.last_completion, at);
+  shard.digest += completion_hash(tenant_idx, object_idx, op, bytes,
+                                  static_cast<std::uint64_t>(err), at);
   if (session >= 0) {
     cluster_.sim().schedule(std::max<TimePs>(1, cfg_.think_time),
                             [this, session] { issue_session_op(static_cast<unsigned>(session)); });
   }
 }
 
-void Engine::fold_digest(std::uint64_t tenant, std::uint64_t object, std::uint64_t op,
-                         std::uint64_t bytes, std::uint64_t err, std::uint64_t at) {
-  // FNV-1a over the completion record, summed into the digest so the fold
-  // is order-insensitive (completion *times* still pin the schedule).
+std::uint64_t Engine::completion_hash(std::uint64_t tenant, std::uint64_t object,
+                                      std::uint64_t op, std::uint64_t bytes, std::uint64_t err,
+                                      std::uint64_t at) {
+  // FNV-1a over the completion record; callers *sum* the hashes into a
+  // shard digest so the fold is order-insensitive (completion *times*
+  // still pin the schedule).
   std::uint64_t h = 1469598103934665603ull;
   for (const std::uint64_t v : {tenant, object, op, bytes, err, at}) {
     for (unsigned i = 0; i < 8; ++i) {
@@ -224,7 +281,27 @@ void Engine::fold_digest(std::uint64_t tenant, std::uint64_t object, std::uint64
       h *= 1099511628211ull;
     }
   }
-  digest_ += h;
+  return h;
+}
+
+void Engine::merge_shards() {
+  // Commutative fold of the per-slot shards into the public Stats/digest:
+  // sums and maxes only, so the merged totals are independent of both the
+  // shard order and the (possibly concurrent) order events filled them in.
+  for (Shard& sh : shards_) {
+    stats_.offered += sh.offered;
+    stats_.offered_bytes += sh.offered_bytes;
+    stats_.completed += sh.completed;
+    stats_.failed += sh.failed;
+    for (std::size_t i = 0; i < sh.by_error.size(); ++i) stats_.by_error[i] += sh.by_error[i];
+    stats_.bytes_ok += sh.bytes_ok;
+    stats_.control_ops += sh.control_ops;
+    stats_.sum_latency += sh.sum_latency;
+    stats_.max_latency = std::max(stats_.max_latency, sh.max_latency);
+    stats_.last_completion = std::max(stats_.last_completion, sh.last_completion);
+    digest_ += sh.digest;
+    sh = Shard{};
+  }
 }
 
 }  // namespace nadfs::workload

@@ -20,6 +20,16 @@
 // Everything is deterministic given EngineConfig::seed: samplers draw from
 // a seeded Rng, arrivals are simulator events, and the engine folds every
 // completion into an order-insensitive FNV digest for replay comparison.
+//
+// Domain-parallel operation (DESIGN.md §3f): open-loop arrivals are fully
+// pre-drawn — every random choice (tenant, user, object, op, offset) is
+// sampled at schedule time, before the simulator runs — and all event-time
+// bookkeeping lands in per-client-slot stat shards merged after the run.
+// The engine therefore touches no shared mutable state from event context,
+// which is what makes it safe to pin each slot's op stream to its own
+// simulation lane under the cluster's aggressive per-client mapping. That
+// mapping additionally requires a read/write-only mix over pre-created
+// objects (namespace mutations are not commutative); run() enforces this.
 #pragma once
 
 #include <array>
@@ -133,7 +143,11 @@ class Engine {
   void setup();
 
   /// Schedule the arrival process and run the simulator until the workload
-  /// drains (all issued ops completed or abandoned).
+  /// drains (all issued ops completed or abandoned). When the cluster runs
+  /// the aggressive per-client-lane mapping, throws std::logic_error unless
+  /// the workload satisfies its soundness preconditions: open loop only,
+  /// and a read/write-only op mix (no append, no stat — namespace and
+  /// append-tail mutations are not commutative across lanes).
   void run();
 
   const Stats& stats() const { return stats_; }
@@ -158,16 +172,64 @@ class Engine {
     double cum_weight = 0.0;  ///< cumulative, for tenant sampling
   };
 
+  /// One fully-sampled open-loop op. All randomness is drawn at schedule
+  /// time (serial, before the simulator runs), so executing it reads no
+  /// shared sampler state — each client slot's op stream is read-only input
+  /// to its lane under the aggressive per-client mapping. The draw order
+  /// reproduces the serial engine's Rng stream exactly (arrival times
+  /// first, then per-arrival op draws in arrival order — the order
+  /// event-time sampling consumed them), so pre-drawing changes no digest.
+  /// Packed to fit EventFn's inline buffer alongside the `this` capture.
+  struct PlannedOp {
+    std::uint64_t offset = 0;
+    std::uint32_t tenant = 0;
+    std::uint32_t object = 0;
+    std::uint32_t slot = 0;  ///< client slot (== client-node index)
+    std::uint32_t len = 0;
+    std::uint8_t op = 0;    ///< 0 write, 1 read, 2 append, 4 stat
+    std::uint8_t fill = 0;  ///< payload fill byte (user ^ object)
+  };
+
+  /// Per-client-slot stats shard. Every event-time mutation lands in the
+  /// issuing slot's shard: concurrent client lanes never share a cache
+  /// line, and the end-of-run merge (sums plus maxes, digest summed) is
+  /// order-insensitive — serial and domain-parallel runs merge to
+  /// identical totals.
+  struct alignas(64) Shard {
+    std::uint64_t offered = 0;
+    std::uint64_t offered_bytes = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::array<std::uint64_t, 10> by_error{};
+    std::uint64_t bytes_ok = 0;
+    std::uint64_t control_ops = 0;
+    TimePs sum_latency = 0;
+    TimePs max_latency = 0;
+    TimePs last_completion = 0;
+    std::uint64_t digest = 0;  ///< summed completion hashes
+  };
+
   void schedule_open_loop();
   void start_closed_loop();
   void issue_session_op(unsigned session);
   /// Sample (tenant, user, object, op) and fire one op; `session` is the
-  /// closed-loop session to rearm on completion (-1 for open loop).
+  /// closed-loop session to rearm on completion. Event-time sampling —
+  /// closed loop only (the open loop executes pre-drawn PlannedOps).
   void issue_one(int session);
+  /// Draw one op (the sampling half of issue_one; serial Rng consumer).
+  PlannedOp draw_planned_op();
+  /// Fire a pre-drawn op on its slot's client (runs on the slot's lane for
+  /// open-loop arrivals). `session` is the closed-loop session to rearm on
+  /// completion (-1 for open loop).
+  void execute_planned(const PlannedOp& op, int session = -1);
   void complete(std::size_t tenant_idx, std::uint64_t object_idx, unsigned op,
-                std::uint32_t bytes, int session, dfs::DfsError err, TimePs issued, TimePs at);
-  void fold_digest(std::uint64_t tenant, std::uint64_t object, std::uint64_t op,
-                   std::uint64_t bytes, std::uint64_t err, std::uint64_t at);
+                std::uint32_t bytes, int session, std::uint32_t slot, dfs::DfsError err,
+                TimePs issued, TimePs at);
+  /// Order-insensitive FNV-1a hash of one completion record.
+  static std::uint64_t completion_hash(std::uint64_t tenant, std::uint64_t object,
+                                       std::uint64_t op, std::uint64_t bytes, std::uint64_t err,
+                                       std::uint64_t at);
+  void merge_shards();
 
   services::Cluster& cluster_;
   EngineConfig cfg_;
@@ -175,6 +237,7 @@ class Engine {
   std::vector<std::unique_ptr<services::Client>> clients_;
   Rng rng_;
   Stats stats_;
+  std::vector<Shard> shards_;  ///< one per client slot
   std::uint64_t digest_ = 1469598103934665603ull;  ///< FNV-1a offset basis
   double total_weight_ = 0.0;
   bool setup_done_ = false;

@@ -412,8 +412,13 @@ TEST(Chaos, RebuildDropsBelowKMidCollectAndReportsLossWithoutHanging) {
     if (detector.failed().size() != 2 || rebuild_started) return;
     rebuild_started = true;
     // The collect now streams from targets[1], targets[2] and parity[0];
-    // kill one of them 1 us in, mid-transfer.
-    cluster.network().faults().kill_node(layout.targets[1].node, at + us(1));
+    // kill one of them 1 us in, mid-transfer. mutate_faults: this runs
+    // from event context (a detector callback), so under the
+    // domain-parallel core the plan edit must be fenced — and the fence
+    // timing is identical in serial mode, keeping digests comparable.
+    cluster.network().mutate_faults([&layout, at](net::FaultPlan& plan) {
+      plan.kill_node(layout.targets[1].node, at + us(1));
+    });
     recovery.rebuild("obj", detector.failed(), [&](std::optional<services::FileLayout> l,
                                                    TimePs) {
       rebuild_done = true;

@@ -1,0 +1,516 @@
+// Parallel == serial, proven. The domain-partitioned conservative core
+// (DESIGN.md §3f) promises bit-identical event ordering: a partitioned run
+// must reproduce the serial scheduler's (when, seq) pop order exactly, for
+// any domain count and any worker-thread count. This suite is the proof
+// harness:
+//
+//   - a scheduler-level differential oracle: randomized event storms
+//     (zero-delay ties, cross-domain handoffs, fences) executed on a serial
+//     simulator and on partitioned twins, comparing the pop-observer logs
+//     element by element across multiple seeds and shapes;
+//   - whole-system differentials: the sPIN-PBT write stack, a chaos run
+//     with mid-run fault-plan mutation, and the multi-tenant workload
+//     engine (conservative and aggressive per-client-lane mappings), each
+//     compared serial-vs-parallel by digest, final time, and event count;
+//   - fence semantics: exact serial position, and the lookahead guard for
+//     fences and cross-domain events scheduled from inside events.
+//
+// Every failure message names the seed, domain count, and thread count so
+// a red run is immediately reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "services/client.hpp"
+#include "services/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace nadfs {
+namespace {
+
+using services::Client;
+using services::Cluster;
+using services::ClusterConfig;
+using services::FilePolicy;
+using services::SimParallelConfig;
+using workload::Engine;
+using workload::EngineConfig;
+using workload::TenantSpec;
+
+// ------------------------------------------------- scheduler-level oracle
+
+struct PopLog {
+  std::vector<std::pair<TimePs, std::uint64_t>> pops;
+};
+
+void record_pop(void* ctx, TimePs when, std::uint64_t seq) {
+  static_cast<PopLog*>(ctx)->pops.emplace_back(when, seq);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+struct StormShape {
+  const char* name;
+  bool zero_delay;   ///< spawn same-time ties (intra-domain only)
+  bool cross_heavy;  ///< bias spawns toward cross-domain handoffs
+  bool fences;       ///< sprinkle fences into the storm
+};
+
+constexpr TimePs kStormLookahead = 20'000;  // the 20 ns link-latency horizon
+
+/// One storm event. Behavior is a pure function of (seed, id, depth, home
+/// domain): every random choice is drawn from an Rng keyed on those alone,
+/// so the event makes identical decisions no matter which thread or window
+/// executes it — the pop order is the only degree of freedom under test.
+struct StormCtx {
+  sim::Simulator& sim;
+  StormShape shape;
+  std::uint64_t seed;
+  std::size_t domains;
+
+  void fire(std::uint64_t id, unsigned depth, sim::DomainId home) {
+    if (depth >= 6) return;
+    Rng rng(mix64(seed ^ mix64(id)));
+    // Roots always fan out (an unlucky seed must not degenerate the storm);
+    // deeper events draw 0..3 children so the storm still terminates.
+    const unsigned children =
+        depth == 0 ? 3 : static_cast<unsigned>(rng.next_below(4));
+    for (unsigned k = 0; k < children; ++k) {
+      const std::uint64_t child = mix64(id * 4 + k + 1);
+      const std::uint64_t roll = rng.next_below(100);
+      if (shape.fences && roll < 10) {
+        // In-event fences need the conservative horizon, like any
+        // cross-domain delivery.
+        const TimePs delay = kStormLookahead + rng.next_below(3) * 7'000;
+        sim.schedule_fence(delay, [this, child, depth] { fire(child, depth + 1, 0); });
+        continue;
+      }
+      const bool cross = roll < (shape.cross_heavy ? 70 : 30);
+      if (cross && domains > 1) {
+        const auto target = static_cast<sim::DomainId>(
+            (home + 1 + rng.next_below(domains - 1)) % domains);
+        const TimePs delay = kStormLookahead + rng.next_below(5) * 3'000;
+        sim.schedule_at_domain(target, sim.now() + delay, [this, child, depth, target] {
+          fire(child, depth + 1, target);
+        });
+        continue;
+      }
+      // Intra-domain: any delay is legal, including zero — the dense
+      // same-time tie chains are exactly where ordering bugs hide.
+      const TimePs delay =
+          shape.zero_delay && rng.next_below(2) == 0 ? 0 : rng.next_below(4) * 5'000;
+      sim.schedule(delay, [this, child, depth, home] { fire(child, depth + 1, home); });
+    }
+  }
+};
+
+struct StormResult {
+  PopLog log;
+  TimePs final_time = 0;
+  std::uint64_t executed = 0;
+};
+
+StormResult run_storm(const StormShape& shape, std::uint64_t seed, std::size_t domains,
+                      unsigned threads, bool partitioned) {
+  sim::Simulator sim;
+  if (partitioned) sim.enable_partitions(domains, kStormLookahead, threads);
+  StormResult r;
+  sim.set_pop_observer(&record_pop, &r.log);
+  StormCtx ctx{sim, shape, seed, domains};
+  // Seed every domain with a root event (scheduling from outside events may
+  // target any domain at any time).
+  for (std::size_t d = 0; d < domains; ++d) {
+    const auto dom = static_cast<sim::DomainId>(d);
+    sim.schedule_at_domain(dom, 1'000 + 500 * d, [&ctx, d, dom] {
+      ctx.fire(mix64(d + 1), 0, dom);
+    });
+  }
+  r.final_time = sim.run();
+  r.executed = sim.executed_events();
+  return r;
+}
+
+TEST(ParallelSimOracle, PopOrderMatchesSerialAcrossSeedsShapesAndThreads) {
+  const StormShape shapes[] = {
+      {"zero_delay_ties", true, false, false},
+      {"cross_domain_heavy", false, true, false},
+      {"fenced", true, false, true},
+  };
+  for (const auto& shape : shapes) {
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+      for (const std::size_t domains : {2ull, 4ull}) {
+        const auto serial = run_storm(shape, seed, domains, 0, /*partitioned=*/false);
+        ASSERT_GT(serial.log.pops.size(), 10u)
+            << "shape " << shape.name << " seed " << seed << " degenerated";
+        for (const unsigned threads : {1u, 4u}) {
+          const auto par = run_storm(shape, seed, domains, threads, /*partitioned=*/true);
+          const std::string where = std::string("shape ") + shape.name + " seed " +
+                                    std::to_string(seed) + " domains " +
+                                    std::to_string(domains) + " threads " +
+                                    std::to_string(threads);
+          ASSERT_EQ(par.log.pops.size(), serial.log.pops.size()) << where;
+          for (std::size_t i = 0; i < serial.log.pops.size(); ++i) {
+            ASSERT_EQ(par.log.pops[i], serial.log.pops[i])
+                << where << ": divergence at pop " << i << " (serial when="
+                << serial.log.pops[i].first << " seq=" << serial.log.pops[i].second
+                << ", parallel when=" << par.log.pops[i].first << " seq="
+                << par.log.pops[i].second << ")";
+          }
+          EXPECT_EQ(par.final_time, serial.final_time) << where;
+          EXPECT_EQ(par.executed, serial.executed) << where;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- fence semantics
+
+TEST(ParallelSimOracle, FenceExecutesAtItsExactSerialPosition) {
+  // A fence scheduled between two plain events at the same timestamp must
+  // execute between them — the same (when, seq) slot a plain schedule call
+  // would occupy — with identical observations in serial and partitioned
+  // runs.
+  struct Obs {
+    std::uint64_t events_before_fence = 0;
+    TimePs fence_now = 0;
+  };
+  auto run = [](bool partitioned, unsigned threads) {
+    sim::Simulator sim;
+    if (partitioned) sim.enable_partitions(3, kStormLookahead, threads);
+    Obs obs;
+    sim.schedule_at_domain(1, 5'000, [] {});
+    sim.schedule_fence_at(5'000, [&sim, &obs] {
+      obs.events_before_fence = sim.executed_events();
+      obs.fence_now = sim.now();
+    });
+    sim.schedule_at_domain(2, 5'000, [] {});
+    sim.run();
+    return std::make_tuple(obs.events_before_fence, obs.fence_now, sim.executed_events());
+  };
+  const auto serial = run(false, 0);
+  // Exactly the first same-time event ran before the fence (the count
+  // includes the fence itself: executed_events() is bumped before the
+  // payload fires).
+  EXPECT_EQ(std::get<0>(serial), 2u);
+  EXPECT_EQ(std::get<1>(serial), 5'000u);
+  for (const unsigned threads : {1u, 4u}) {
+    EXPECT_EQ(run(true, threads), serial) << "threads " << threads;
+  }
+}
+
+TEST(ParallelSimOracle, InEventFenceInsideLookaheadThrows) {
+  sim::Simulator sim;
+  sim.enable_partitions(2, kStormLookahead, 1);
+  sim.schedule(1'000, [&sim] {
+    sim.schedule_fence(kStormLookahead / 2, [] {});  // inside the horizon
+  });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(ParallelSimOracle, CrossDomainScheduleInsideLookaheadThrows) {
+  sim::Simulator sim;
+  sim.enable_partitions(2, kStormLookahead, 1);
+  sim.schedule_at_domain(0, 1'000, [&sim] {
+    sim.schedule_at_domain(1, sim.now() + kStormLookahead - 1, [] {});
+  });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+// -------------------------------------------- whole-system differentials
+
+SimParallelConfig par_on(unsigned threads, unsigned storage_domains = 0,
+                         bool per_client = false) {
+  SimParallelConfig par;
+  par.mode = SimParallelConfig::Mode::kOn;
+  par.threads = threads;
+  par.storage_domains = storage_domains;
+  par.per_client_domains = per_client;
+  return par;
+}
+
+SimParallelConfig par_off() {
+  SimParallelConfig par;
+  par.mode = SimParallelConfig::Mode::kOff;
+  return par;
+}
+
+/// Digest of a full replicated-write run: storage bytes, final time, event
+/// count — the whole observable outcome.
+std::uint64_t spin_pbt_digest(SimParallelConfig par, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 4;
+  cfg.parallel = par;
+  Cluster cluster(cfg);
+  Client client(cluster, 0);
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kReplication;
+  policy.strategy = dfs::ReplStrategy::kPbt;
+  policy.repl_k = 4;
+  const std::size_t size = 5 * 2048 + 13;
+  const auto& layout = cluster.metadata().create("o", size, policy);
+  const auto cap = cluster.metadata().grant(client.client_id(), layout, auth::Right::kWrite);
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) b = rng.next_byte();
+  bool ok = false;
+  client.write(layout, cap, data, [&ok](bool w, TimePs) { ok = w; });
+  const TimePs final_time = cluster.sim().run();
+  EXPECT_TRUE(ok);
+
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  mix_u64(final_time);
+  mix_u64(cluster.sim().executed_events());
+  for (const auto& coord : layout.targets) {
+    for (const auto b : cluster.storage_by_node(coord.node).target().read(coord.addr, size)) {
+      mix_byte(b);
+    }
+  }
+  return h;
+}
+
+TEST(ParallelSimSystem, SpinPbtWriteDigestMatchesSerial) {
+  for (const std::uint64_t seed : {7ull, 21ull, 33ull}) {
+    const auto serial = spin_pbt_digest(par_off(), seed);
+    for (const unsigned threads : {1u, 4u}) {
+      for (const unsigned domains : {2u, 4u}) {
+        EXPECT_EQ(spin_pbt_digest(par_on(threads, domains), seed), serial)
+            << "seed " << seed << " domains " << domains << " threads " << threads;
+      }
+    }
+  }
+}
+
+struct SysResult {
+  std::uint64_t digest = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  TimePs last_completion = 0;
+  std::uint64_t executed = 0;
+
+  bool operator==(const SysResult& o) const {
+    return digest == o.digest && offered == o.offered && completed == o.completed &&
+           failed == o.failed && last_completion == o.last_completion && executed == o.executed;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const SysResult& r) {
+  return os << "{digest=" << r.digest << " offered=" << r.offered << " completed=" << r.completed
+            << " failed=" << r.failed << " last=" << r.last_completion
+            << " executed=" << r.executed << "}";
+}
+
+/// Mixed multi-tenant workload with a mid-run fault-plan mutation (node
+/// kill injected through Network::mutate_faults from event context) — the
+/// chaos-shaped serial-vs-parallel differential.
+SysResult run_chaos_workload(std::uint64_t seed, SimParallelConfig par, bool kill_node) {
+  ClusterConfig cc;
+  cc.storage_nodes = 4;
+  cc.clients = 2;
+  cc.parallel = par;
+  Cluster cluster(cc);
+
+  EngineConfig ecfg;
+  ecfg.users = 1000;
+  ecfg.client_slots = 2;
+  ecfg.rate_ops_per_s = 4e5;
+  ecfg.duration = us(400);
+  ecfg.seed = seed;
+  TenantSpec tenant;
+  tenant.name = "t";
+  tenant.objects = 8;
+  tenant.object_size = 32 * KiB;
+  tenant.io_bytes = 2 * KiB;
+  tenant.policy.resiliency = dfs::Resiliency::kReplication;
+  tenant.policy.repl_k = 2;
+  Engine engine(cluster, ecfg, {tenant});
+  if (kill_node) {
+    const net::NodeId victim = cluster.storage_node(1).id();
+    cluster.sim().schedule_at(us(120), [&cluster, victim] {
+      cluster.network().mutate_faults([&cluster, victim](net::FaultPlan& plan) {
+        plan.kill_node(victim, cluster.sim().now() + us(1));
+      });
+    });
+  }
+  engine.run();
+
+  SysResult r;
+  r.digest = engine.digest();
+  r.offered = engine.stats().offered;
+  r.completed = engine.stats().completed;
+  r.failed = engine.stats().failed;
+  r.last_completion = engine.stats().last_completion;
+  r.executed = cluster.sim().executed_events();
+  return r;
+}
+
+TEST(ParallelSimSystem, ChaosWorkloadDigestMatchesSerial) {
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    const auto serial = run_chaos_workload(seed, par_off(), /*kill_node=*/true);
+    EXPECT_GT(serial.offered, 0u) << "seed " << seed;
+    for (const unsigned threads : {1u, 4u}) {
+      const auto par = run_chaos_workload(seed, par_on(threads), /*kill_node=*/true);
+      EXPECT_EQ(par, serial) << "seed " << seed << " threads " << threads << " domains "
+                             << 4 + 2 << " (storage lanes 4)";
+    }
+  }
+}
+
+TEST(ParallelSimSystem, MixedWorkloadDigestMatchesSerialAcrossSeeds) {
+  // No faults: the plain multi-tenant mixed-op differential, >= 3 seeds.
+  for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+    const auto serial = run_chaos_workload(seed, par_off(), /*kill_node=*/false);
+    for (const unsigned threads : {1u, 4u}) {
+      const auto par = run_chaos_workload(seed, par_on(threads), /*kill_node=*/false);
+      EXPECT_EQ(par, serial) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ------------------------------------------- aggressive per-client lanes
+
+SysResult run_rw_workload(std::uint64_t seed, SimParallelConfig par) {
+  ClusterConfig cc;
+  cc.storage_nodes = 4;
+  cc.clients = 4;
+  cc.parallel = par;
+  Cluster cluster(cc);
+
+  EngineConfig ecfg;
+  ecfg.users = 1000;
+  ecfg.client_slots = 4;
+  ecfg.rate_ops_per_s = 6e5;
+  ecfg.duration = us(300);
+  ecfg.seed = seed;
+  TenantSpec tenant;
+  tenant.name = "t";
+  tenant.objects = 8;
+  tenant.object_size = 32 * KiB;
+  tenant.io_bytes = 2 * KiB;
+  tenant.mix = {0.6, 0.4, 0.0, 0.0};  // read/write only — aggressive-safe
+  Engine engine(cluster, ecfg, {tenant});
+  engine.run();
+
+  SysResult r;
+  r.digest = engine.digest();
+  r.offered = engine.stats().offered;
+  r.completed = engine.stats().completed;
+  r.failed = engine.stats().failed;
+  r.last_completion = engine.stats().last_completion;
+  r.executed = cluster.sim().executed_events();
+  return r;
+}
+
+TEST(ParallelSimSystem, AggressiveClientLanesMatchSerial) {
+  for (const std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    const auto serial = run_rw_workload(seed, par_off());
+    EXPECT_GT(serial.completed, 0u) << "seed " << seed;
+    for (const unsigned threads : {1u, 4u}) {
+      const auto par = run_rw_workload(seed, par_on(threads, 0, /*per_client=*/true));
+      EXPECT_EQ(par, serial) << "seed " << seed << " threads " << threads
+                             << " (aggressive mapping, 4 storage + 4 client lanes)";
+    }
+  }
+}
+
+TEST(ParallelSimSystem, AggressiveMappingRejectsUnsoundWorkloads) {
+  auto make_cluster = [] {
+    ClusterConfig cc;
+    cc.storage_nodes = 2;
+    cc.clients = 2;
+    cc.parallel = par_on(1, 0, /*per_client=*/true);
+    return cc;
+  };
+  TenantSpec tenant;
+  tenant.objects = 2;
+
+  {
+    Cluster cluster(make_cluster());
+    EngineConfig ecfg;
+    ecfg.rate_ops_per_s = 0.0;  // closed loop: completion-order-dependent
+    Engine engine(cluster, ecfg, {tenant});
+    EXPECT_THROW(engine.run(), std::logic_error);
+  }
+  {
+    Cluster cluster(make_cluster());
+    EngineConfig ecfg;
+    ecfg.rate_ops_per_s = 1e5;
+    ecfg.duration = us(50);
+    TenantSpec appendy = tenant;
+    appendy.mix = {0.5, 0.3, 0.2, 0.0};  // append mutates the shared tail
+    Engine engine(cluster, ecfg, {appendy});
+    EXPECT_THROW(engine.run(), std::logic_error);
+  }
+  {
+    Cluster cluster(make_cluster());
+    EngineConfig ecfg;
+    ecfg.rate_ops_per_s = 1e5;
+    ecfg.duration = us(50);
+    TenantSpec staty = tenant;
+    staty.mix = {0.5, 0.3, 0.0, 0.2};  // stat reads the shared tail mid-run
+    Engine engine(cluster, ecfg, {staty});
+    EXPECT_THROW(engine.run(), std::logic_error);
+  }
+}
+
+// ------------------------------------------------------------ env wiring
+
+TEST(ParallelSimSystem, EnvKnobEnablesPartitionsUnderAutoMode) {
+  // Save and restore the knobs: scripts/check.sh runs this binary with
+  // NADFS_SIM_PARALLEL exported, and the other suites must keep seeing it.
+  const char* prev_par = std::getenv("NADFS_SIM_PARALLEL");
+  const std::string saved_par = prev_par ? prev_par : "";
+  const char* prev_dom = std::getenv("NADFS_SIM_DOMAINS");
+  const std::string saved_dom = prev_dom ? prev_dom : "";
+
+  ASSERT_EQ(setenv("NADFS_SIM_PARALLEL", "1", 1), 0);
+  ASSERT_EQ(setenv("NADFS_SIM_DOMAINS", "2", 1), 0);
+  {
+    ClusterConfig cc;
+    cc.storage_nodes = 4;
+    Cluster cluster(cc);
+    EXPECT_TRUE(cluster.parallel_enabled());
+    // lanes: control + 2 storage + fabric
+    EXPECT_EQ(cluster.sim().domain_count(), 4u);
+    EXPECT_EQ(cluster.sim().lookahead(), cc.network.link_latency);
+  }
+  ASSERT_EQ(setenv("NADFS_SIM_PARALLEL", "0", 1), 0);
+  {
+    Cluster cluster{ClusterConfig{}};
+    EXPECT_FALSE(cluster.parallel_enabled());
+  }
+  if (prev_par) {
+    setenv("NADFS_SIM_PARALLEL", saved_par.c_str(), 1);
+  } else {
+    unsetenv("NADFS_SIM_PARALLEL");
+  }
+  if (prev_dom) {
+    setenv("NADFS_SIM_DOMAINS", saved_dom.c_str(), 1);
+  } else {
+    unsetenv("NADFS_SIM_DOMAINS");
+  }
+}
+
+}  // namespace
+}  // namespace nadfs
