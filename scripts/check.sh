@@ -94,6 +94,25 @@ for par in 0 1; do
   done
 done
 
+# Elasticity gates (DESIGN.md §3g): restart/rejoin, planned drain, and the
+# background rebalancer run under both chaos seeds AND with the partitioned
+# scheduler forced OFF and ON — every seeded scenario double-runs internally
+# and must self-digest identically in all four combinations. This is the
+# gate for the node lifecycle loop (alive -> failed -> restart -> alive).
+for par in 0 1; do
+  for seed in 1 7; do
+    echo "== elasticity suites under NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed"
+    NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" \
+      --output-on-failure -R 'Elasticity|Rejoin|Drain'
+  done
+done
+
+# Elasticity bench smoke: time-to-rejoin, rebalance convergence and the
+# rolling-restart goodput dip; the bench re-reads BENCH_elasticity.json
+# through the strict obs JSON parser and fails on missing row families.
+echo "== elasticity bench smoke (BENCH_elasticity.json validation)"
+(cd "$BUILD_DIR" && NADFS_BENCH_SMOKE=1 "./bench/elasticity" > /dev/null)
+
 # Domain-parallel scaling bench smoke: sweeps 1/2/4/8 storage domains over
 # the same seeded workload, asserts the workload digest and event count are
 # bit-identical at every point, and re-reads BENCH_parallel_sim.json

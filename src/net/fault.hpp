@@ -60,14 +60,24 @@ struct FaultCounters {
 class FaultPlan {
  public:
   // ---- scheduled faults -------------------------------------------------
-  /// Node is unreachable (no tx, no rx) from `at` on. Permanent: there is
-  /// no revive — a recovered machine would rejoin as a new node.
-  void kill_node(NodeId node, TimePs at) {
-    auto it = kill_at_.find(node);
-    if (it == kill_at_.end()) {
-      kill_at_.emplace(node, at);
-    } else if (at < it->second) {
-      it->second = at;
+  /// Node is unreachable (no tx, no rx) in [at, until). The default is the
+  /// PR 4 semantics — dead forever — but a later restart_at(node, t) (or an
+  /// explicit `until`) revives it: the machine comes back with its NVMM
+  /// contents intact and cold NIC state, and must rejoin through the
+  /// failure detector's confirmation probes before placement trusts it.
+  void kill_node(NodeId node, TimePs at, TimePs until = kNeverPs) {
+    node_down_[node].emplace_back(at, until);
+  }
+
+  /// Revive `node` at time `t`: every down-window covering `t` is clamped
+  /// to end there. Windows entirely in the future (a scheduled re-kill) are
+  /// left alone, so kill/restart/kill rolling schedules compose. Scheduling
+  /// a restart for a node that was never killed is a no-op.
+  void restart_at(NodeId node, TimePs t) {
+    auto it = node_down_.find(node);
+    if (it == node_down_.end()) return;
+    for (auto& [from, until] : it->second) {
+      if (from < t && until > t) until = t;
     }
   }
 
@@ -103,8 +113,33 @@ class FaultPlan {
 
   // ---- queries ----------------------------------------------------------
   bool node_alive(NodeId node, TimePs t) const {
-    auto it = kill_at_.find(node);
-    return it == kill_at_.end() || t < it->second;
+    auto it = node_down_.find(node);
+    if (it == node_down_.end()) return true;
+    for (const auto& [from, until] : it->second) {
+      if (t >= from && t < until) return false;
+    }
+    return true;
+  }
+
+  /// First time >= `t` at which the node is up again (t itself when it is
+  /// not down at `t`, kNeverPs when the covering window never ends).
+  /// Windows may overlap, so the scan iterates to a fixed point.
+  TimePs node_up_after(NodeId node, TimePs t) const {
+    auto it = node_down_.find(node);
+    if (it == node_down_.end()) return t;
+    TimePs up = t;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& [from, until] : it->second) {
+        if (up >= from && up < until) {
+          if (until == kNeverPs) return kNeverPs;
+          up = until;
+          moved = true;
+        }
+      }
+    }
+    return up;
   }
 
   bool link_up(NodeId node, TimePs t) const {
@@ -129,7 +164,7 @@ class FaultPlan {
   bool reachable(NodeId node, TimePs t) const { return node_alive(node, t) && link_up(node, t); }
 
   bool empty() const {
-    return kill_at_.empty() && down_.empty() && trunk_down_.empty() && drop_rate_ == 0 &&
+    return node_down_.empty() && down_.empty() && trunk_down_.empty() && drop_rate_ == 0 &&
            duplicate_rate_ == 0 && corrupt_rate_ == 0;
   }
 
@@ -142,7 +177,9 @@ class FaultPlan {
     return static_cast<std::uint64_t>(lo) << 32 | hi;
   }
 
-  std::unordered_map<NodeId, TimePs> kill_at_;
+  /// Per-node down-windows [from, until): a node is dead while any window
+  /// covers the queried time. kill_node appends, restart_at clamps.
+  std::unordered_map<NodeId, std::vector<std::pair<TimePs, TimePs>>> node_down_;
   std::unordered_map<NodeId, std::vector<std::pair<TimePs, TimePs>>> down_;
   std::unordered_map<std::uint64_t, std::vector<std::pair<TimePs, TimePs>>> trunk_down_;
   double drop_rate_ = 0;

@@ -77,7 +77,11 @@ class Network {
   /// the packet up, `end` when the uplink is free for the next packet.
   /// With faults armed, source reachability is decided at the window start
   /// (when the wire actually picks the packet up), not at injection time —
-  /// a node killed while its packet is still queued never transmits.
+  /// a node killed while its packet is still queued never transmits. The
+  /// same time-based query re-admits traffic from a revived node
+  /// deterministically: the first packet whose window starts at or after
+  /// its FaultPlan::restart_at time transmits, no re-registration needed
+  /// at this layer (rejoining placement is the failure detector's job).
   sim::Window inject(Packet pkt, TimePs earliest = 0);
 
   /// Earliest time node's uplink could accept a new packet.
@@ -97,8 +101,8 @@ class Network {
   void install_faults(FaultPlan plan);
 
   /// The armed plan, arming an empty one on first access. Mutable on
-  /// purpose: chaos hooks add kills mid-run (the plan is queried by time,
-  /// so future-dated additions are safe).
+  /// purpose: chaos hooks add kills/restarts mid-run (the plan is queried
+  /// by time, so future-dated additions are safe).
   FaultPlan& faults();
 
   /// Mutate the armed plan from *event context* in a way that is safe (and

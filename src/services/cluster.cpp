@@ -40,6 +40,8 @@ StorageNode::StorageNode(sim::Simulator& simulator, net::Network& network,
 
 void StorageNode::install_dfs(dfs::DfsConfig cfg) {
   cfg.mtu = nic_->network().mtu();
+  dfs_cfg_ = cfg;
+  dfs_installed_ = true;
   dfs_state_ = std::make_shared<dfs::DfsState>(cfg);
   if (!pspin_->install(dfs::make_dfs_context(dfs_state_))) {
     throw std::runtime_error("StorageNode::install_dfs: DFS state exceeds NIC memory");
@@ -51,6 +53,12 @@ void StorageNode::uninstall_dfs() {
   pspin_->uninstall();
   if (metrics_) metrics_->remove_prefix(metrics_prefix_ + ".dfs");
   dfs_state_.reset();
+}
+
+void StorageNode::restart_dfs() {
+  if (!dfs_installed_) return;
+  uninstall_dfs();
+  install_dfs(dfs_cfg_);
 }
 
 void StorageNode::bind_metrics(obs::MetricRegistry& reg, std::string prefix) {

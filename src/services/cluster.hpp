@@ -44,6 +44,11 @@ class StorageNode {
   void install_dfs(dfs::DfsConfig cfg);
   /// Remove the execution context: RDMA traffic reverts to the host path.
   void uninstall_dfs();
+  /// Cold restart of the execution context: the in-NIC request/aggregation
+  /// state is lost (a rebooted machine comes up with empty NIC memory) and
+  /// the policies are re-installed with the last install_dfs config. The
+  /// NVMM target survives — a rejoining node still holds its extents.
+  void restart_dfs();
 
   net::NodeId id() const { return nic_->id(); }
   storage::Target& target() { return *target_; }
@@ -85,6 +90,8 @@ class StorageNode {
   std::unique_ptr<host::Cpu> cpu_;
   std::unique_ptr<pspin::PsPinDevice> pspin_;
   std::shared_ptr<dfs::DfsState> dfs_state_;
+  dfs::DfsConfig dfs_cfg_;  ///< last install_dfs config (restart_dfs re-uses it)
+  bool dfs_installed_ = false;
   std::vector<HostEventRecord> host_events_;
   sim::Periodic state_gc_;
   obs::MetricRegistry* metrics_ = nullptr;

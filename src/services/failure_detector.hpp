@@ -45,14 +45,26 @@ struct FailureDetectorConfig {
   /// and only escalates if they all miss too. Costs confirm_probes *
   /// probe_timeout of detection latency; filters one-off congestion.
   unsigned confirm_probes = 1;
+  /// Rejoin confirmation: a failed node keeps being probed, and after this
+  /// many *consecutive* answered heartbeats it transitions failed -> alive
+  /// (re-admitted to placement, on_rejoin fired). The consecutive
+  /// requirement is what makes restart-during-partition safe: a revived
+  /// node behind a cut stays failed until its probes actually get through.
+  /// 0 restores the PR 4 semantics — failed is sticky, no probes after
+  /// escalation.
+  unsigned rejoin_probes = 2;
 };
 
 class FailureDetector {
  public:
   /// kPartitioned: past fail_after misses but escalation held by the
   /// suspect quorum — treated as unreachable-but-not-dead (never excluded
-  /// from placement, never reported through on_failure).
-  enum class Health { kAlive, kSuspected, kPartitioned, kFailed };
+  /// from placement — but placement-*held* so spares avoid it — never
+  /// reported through on_failure). kDraining: reachable and probed
+  /// normally, but flagged for planned decommission (set_draining); an
+  /// unreachable draining node still walks suspected/failed like any
+  /// other.
+  enum class Health { kAlive, kSuspected, kPartitioned, kFailed, kDraining };
 
   /// `prober` must be a dedicated client (its NIC control handler and
   /// timeout/retry policy are owned by the detector; sharing it with a
@@ -77,6 +89,19 @@ class FailureDetector {
   using FailureCb = std::function<void(net::NodeId node, TimePs detected_at)>;
   void set_on_failure(FailureCb cb) { on_failure_ = std::move(cb); }
 
+  /// Called once per node transition kFailed -> kAlive (rejoin_probes
+  /// consecutive heartbeats answered), after the node has been re-admitted
+  /// to metadata placement.
+  using RejoinCb = std::function<void(net::NodeId node, TimePs rejoined_at)>;
+  void set_on_rejoin(RejoinCb cb) { on_rejoin_ = std::move(cb); }
+
+  /// Planned-decommission hooks (driven by the Rebalancer). A draining
+  /// node keeps being probed — it is still serving reads while its chunks
+  /// migrate off. retire() takes the node out of the probe loop and the
+  /// quorum denominator for good (clean removal after drain).
+  void set_draining(net::NodeId node, bool draining);
+  void retire(net::NodeId node);
+
   /// §VI-B's "start the recovery process": on every failure, rebuild
   /// `name` from the detector's current failed set. `cb` fires per rebuild
   /// attempt. Installs the on_failure hook (replaces any previous one).
@@ -88,6 +113,8 @@ class FailureDetector {
   std::uint64_t indirect_probes() const { return indirect_probes_; }
   /// Escalations held by the suspect quorum (kPartitioned transitions).
   std::uint64_t escalations_held() const { return escalations_held_; }
+  /// Completed failed -> alive transitions.
+  std::uint64_t rejoins() const { return rejoins_; }
   /// True while the suspect quorum currently holds escalations.
   bool partition_suspected() const;
 
@@ -96,7 +123,10 @@ class FailureDetector {
     net::NodeId id = net::kInvalidNode;
     unsigned misses = 0;
     unsigned confirms = 0;     ///< confirmation probes spent this episode
+    unsigned rejoin_oks = 0;   ///< consecutive answered heartbeats while kFailed
     bool outstanding = false;  ///< probe in flight (deadline not yet resolved)
+    bool draining = false;     ///< planned decommission in progress
+    bool retired = false;      ///< removed from the cluster; never probed
     Health health = Health::kAlive;
     TimePs failed_at = 0;
   };
@@ -104,6 +134,7 @@ class FailureDetector {
   void tick();
   void probe(std::size_t i);
   void escalate(NodeState& ns, TimePs at);
+  void rejoin(NodeState& ns, TimePs at);
 
   Cluster& cluster_;
   Client& prober_;
@@ -112,11 +143,13 @@ class FailureDetector {
   std::vector<NodeState> nodes_;
   std::set<net::NodeId> failed_;
   FailureCb on_failure_;
+  RejoinCb on_rejoin_;
   sim::Periodic ticker_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_missed_ = 0;
   std::uint64_t indirect_probes_ = 0;
   std::uint64_t escalations_held_ = 0;
+  std::uint64_t rejoins_ = 0;
   std::string metrics_prefix_;
 };
 

@@ -90,7 +90,19 @@ std::pair<dfs::DfsError, const FileLayout*> MetadataService::try_create(const st
   layout.size = size;
   layout.policy = policy;
 
-  auto place = [&](std::uint64_t bytes) { return place_next(bytes, {}); };
+  // Target-count checks split by cause: a policy wider than the cluster
+  // itself (non-removed nodes) is a request error, kBadArg; one the cluster
+  // could satisfy but for failed/held/draining nodes is a retryable
+  // cluster-state error, kNoQuorum — it succeeds again once nodes rejoin.
+  auto capacity_error = [&](std::size_t want) {
+    return want > placeable_node_count() ? dfs::DfsError::kBadArg : dfs::DfsError::kNoQuorum;
+  };
+  bool exhausted = false;
+  auto place = [&](std::uint64_t bytes) {
+    auto coord = try_place_next(bytes, {});
+    if (!coord) exhausted = true;
+    return coord.value_or(dfs::Coord{});
+  };
 
   switch (policy.resiliency) {
     case dfs::Resiliency::kNone: {
@@ -98,8 +110,9 @@ std::pair<dfs::DfsError, const FileLayout*> MetadataService::try_create(const st
         layout.targets.push_back(place(size));
         break;
       }
-      if (policy.stripe_size == 0 || policy.stripe_count > eligible_node_count()) {
-        return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.stripe_size == 0) return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.stripe_count > eligible_node_count()) {
+        return {capacity_error(policy.stripe_count), nullptr};
       }
       // Per-stripe extent: ceil of the stripe's share of the object.
       const std::uint64_t per_stripe =
@@ -111,22 +124,29 @@ std::pair<dfs::DfsError, const FileLayout*> MetadataService::try_create(const st
       break;
     }
     case dfs::Resiliency::kReplication: {
-      if (policy.repl_k == 0 || policy.repl_k > eligible_node_count()) {
-        return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.repl_k == 0) return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.repl_k > eligible_node_count()) {
+        return {capacity_error(policy.repl_k), nullptr};
       }
       for (unsigned i = 0; i < policy.repl_k; ++i) layout.targets.push_back(place(size));
       break;
     }
     case dfs::Resiliency::kErasureCoding: {
-      if (policy.ec_k == 0 || policy.ec_m == 0 ||
-          policy.ec_k + policy.ec_m > eligible_node_count()) {
-        return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.ec_k == 0 || policy.ec_m == 0) return {dfs::DfsError::kBadArg, nullptr};
+      if (policy.ec_k + policy.ec_m > eligible_node_count()) {
+        return {capacity_error(std::size_t{policy.ec_k} + policy.ec_m), nullptr};
       }
       layout.chunk_len = (size + policy.ec_k - 1) / policy.ec_k;
       for (unsigned i = 0; i < policy.ec_k; ++i) layout.targets.push_back(place(layout.chunk_len));
       for (unsigned i = 0; i < policy.ec_m; ++i) layout.parity.push_back(place(layout.chunk_len));
       break;
     }
+  }
+  if (exhausted) {
+    // Every placement passed the count checks above, so exhaustion here
+    // means the eligible set shrank to zero mid-run: typed NACK instead of
+    // tearing down the simulation.
+    return {dfs::DfsError::kNoQuorum, nullptr};
   }
   {
     std::lock_guard<std::mutex> lk(lengths_mu_);
@@ -187,24 +207,69 @@ void MetadataService::note_written(const std::string& name, std::uint64_t offset
   length = std::max(length, offset + len);
 }
 
-dfs::Coord MetadataService::place_next(std::uint64_t len,
-                                       const std::vector<net::NodeId>& avoid) {
-  // Round-robin over the eligible nodes: excluded (failed) nodes and the
-  // caller's avoid list are skipped without burning their rotation slot's
-  // fairness — consecutive placements still land on distinct nodes as long
-  // as enough nodes are eligible.
+std::optional<dfs::Coord> MetadataService::try_place_next(std::uint64_t len,
+                                                          const std::vector<net::NodeId>& avoid) {
+  // Round-robin over the eligible nodes: excluded (failed), partition-held,
+  // draining, and removed nodes plus the caller's avoid list are skipped
+  // without burning their rotation slot's fairness — consecutive placements
+  // still land on distinct nodes as long as enough nodes are eligible.
+  // Partition-held nodes matter here: the detector deliberately does not
+  // *exclude* them (they are not declared dead), but a spare placed on the
+  // far side of a cut would stall its rebuild until the heal.
   for (std::size_t tries = 0; tries < nodes_.size(); ++tries) {
     const std::size_t idx = next_placement_++ % nodes_.size();
-    if (excluded_.count(nodes_[idx]) != 0) continue;
+    if (!placeable(nodes_[idx])) continue;
     if (std::find(avoid.begin(), avoid.end(), nodes_[idx]) != avoid.end()) continue;
     return dfs::Coord{nodes_[idx], allocate_on(idx, len)};
   }
-  throw std::runtime_error("MetadataService: no eligible storage node");
+  return std::nullopt;
+}
+
+std::size_t MetadataService::eligible_node_count() const {
+  std::size_t n = 0;
+  for (const net::NodeId node : nodes_) {
+    if (placeable(node)) ++n;
+  }
+  return n;
 }
 
 dfs::Coord MetadataService::allocate_spare(std::uint64_t len,
                                            const std::vector<net::NodeId>& avoid) {
-  return place_next(len, avoid);
+  auto coord = try_place_next(len, avoid);
+  if (!coord) throw std::runtime_error("MetadataService: no eligible storage node");
+  return *coord;
+}
+
+std::optional<dfs::Coord> MetadataService::try_allocate_spare(
+    std::uint64_t len, const std::vector<net::NodeId>& avoid) {
+  return try_place_next(len, avoid);
+}
+
+std::uint64_t MetadataService::extent_span(const FileLayout& layout) {
+  if (layout.policy.resiliency == dfs::Resiliency::kErasureCoding) return layout.chunk_len;
+  if (layout.striped()) {
+    const auto count = layout.policy.stripe_count;
+    const auto ss = layout.policy.stripe_size;
+    return ((layout.size + count - 1) / count + ss - 1) / ss * ss;
+  }
+  return layout.size;
+}
+
+std::unordered_map<net::NodeId, std::uint64_t> MetadataService::placement_load() const {
+  std::unordered_map<net::NodeId, std::uint64_t> load;
+  for (const net::NodeId node : nodes_) {
+    if (removed_.count(node) == 0) load.emplace(node, 0);
+  }
+  for (const auto& [name, layout] : files_) {
+    const std::uint64_t span = extent_span(layout);
+    auto charge = [&](const dfs::Coord& c) {
+      auto it = load.find(c.node);
+      if (it != load.end()) it->second += span;
+    };
+    for (const auto& c : layout.targets) charge(c);
+    for (const auto& c : layout.parity) charge(c);
+  }
+  return load;
 }
 
 dfs::DfsError MetadataService::update_layout(const std::string& name, const FileLayout& updated) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -105,10 +106,12 @@ class MetadataService {
   /// typed-error twin is try_create().
   const FileLayout& create(const std::string& name, std::uint64_t size, FilePolicy policy);
 
-  /// Typed-error create: kExists on collision, kBadArg on bad policy
-  /// parameters, kOk with the layout on success. Never throws for
-  /// client-attributable faults (placement exhaustion still throws — that
-  /// is a cluster-state error, not a request error).
+  /// Typed-error create: kExists on collision, kBadArg when the policy can
+  /// never be satisfied by this cluster (bad parameters, or more targets
+  /// than non-removed nodes exist), kNoQuorum when the policy is valid but
+  /// failures/partition-holds/drains have shrunk the *currently* eligible
+  /// set below it — a retryable cluster-state NACK that succeeds again once
+  /// nodes rejoin. kOk with the layout on success. Never throws.
   std::pair<dfs::DfsError, const FileLayout*> try_create(const std::string& name,
                                                          std::uint64_t size, FilePolicy policy);
 
@@ -148,18 +151,58 @@ class MetadataService {
                          std::uint64_t expiry_ps = 0) const;
 
   std::size_t storage_node_count() const { return nodes_.size(); }
-  /// Nodes currently eligible for placement (not excluded).
-  std::size_t eligible_node_count() const { return nodes_.size() - excluded_.size(); }
+  /// Nodes currently eligible for placement: not excluded (failed), not
+  /// partition-held, not draining, not removed.
+  std::size_t eligible_node_count() const;
+  /// Nodes a policy could ever be placed on (everything but removed ones):
+  /// the kBadArg / kNoQuorum boundary in try_create.
+  std::size_t placeable_node_count() const { return nodes_.size() - removed_.size(); }
 
   /// Take a node out of future placement decisions (failure-detector
   /// integration: a failed node must not receive new objects or spares).
   /// Existing layouts are untouched — repairing them is recovery's job.
   void exclude_from_placement(net::NodeId node) { excluded_.insert(node); }
   bool excluded(net::NodeId node) const { return excluded_.count(node) != 0; }
+  /// Undo exclusion when a failed node rejoins (detector confirmation
+  /// probes passed): the node is immediately placeable again.
+  void readmit_to_placement(net::NodeId node) { excluded_.erase(node); }
+
+  /// Partition hold: the detector parks unreachable-but-not-declared-dead
+  /// nodes here so spares/new objects don't land on the far side of a cut.
+  /// Unlike exclusion this is not a failure verdict — excluded() stays
+  /// false, and the hold is reference-counted because one detector per
+  /// partition side may hold the same node. Released on rehabilitation.
+  void hold_from_placement(net::NodeId node) { ++held_[node]; }
+  void release_hold(net::NodeId node) {
+    auto it = held_.find(node);
+    if (it != held_.end() && --it->second == 0) held_.erase(it);
+  }
+  bool held(net::NodeId node) const { return held_.count(node) != 0; }
+
+  /// Planned decommission: a draining node receives no new placements but
+  /// still serves its existing extents while the rebalancer migrates them
+  /// off. remove_node() finishes the job — the node leaves the placement
+  /// view entirely (and placeable_node_count shrinks).
+  void drain(net::NodeId node) { draining_.insert(node); }
+  void undrain(net::NodeId node) { draining_.erase(node); }
+  bool draining(net::NodeId node) const { return draining_.count(node) != 0; }
+  void remove_node(net::NodeId node) {
+    draining_.erase(node);
+    removed_.insert(node);
+  }
+  bool removed(net::NodeId node) const { return removed_.count(node) != 0; }
 
   /// Allocate a fresh extent on a node *not* in `avoid` (recovery targets).
   /// Throws if no eligible node exists.
   dfs::Coord allocate_spare(std::uint64_t len, const std::vector<net::NodeId>& avoid);
+  /// Non-throwing twin: nullopt when failures/holds/drains leave no
+  /// eligible node — the caller NACKs kNoQuorum and retries after rejoin.
+  std::optional<dfs::Coord> try_allocate_spare(std::uint64_t len,
+                                               const std::vector<net::NodeId>& avoid);
+
+  /// Bytes of layout extents hosted per non-removed node (parity included;
+  /// zero entries present for idle nodes) — the rebalancer's skew input.
+  std::unordered_map<net::NodeId, std::uint64_t> placement_load() const;
 
   /// Record a repaired layout (replaces a failed chunk coordinate). The
   /// metadata service owns layout mutations; clients see the new version on
@@ -167,9 +210,18 @@ class MetadataService {
   /// rebuild racing a remove must not resurrect the namespace entry).
   dfs::DfsError update_layout(const std::string& name, const FileLayout& updated);
 
+  /// Extent length a coordinate of `layout` occupies (chunk for EC, full
+  /// size per replica, the per-stripe share for striped layouts).
+  static std::uint64_t extent_span(const FileLayout& layout);
+
  private:
   std::uint64_t allocate_on(std::size_t node_idx, std::uint64_t len);
-  dfs::Coord place_next(std::uint64_t len, const std::vector<net::NodeId>& avoid);
+  std::optional<dfs::Coord> try_place_next(std::uint64_t len,
+                                           const std::vector<net::NodeId>& avoid);
+  bool placeable(net::NodeId node) const {
+    return excluded_.count(node) == 0 && held_.count(node) == 0 &&
+           draining_.count(node) == 0 && removed_.count(node) == 0;
+  }
 
   ManagementService& mgmt_;
   std::vector<net::NodeId> nodes_;
@@ -186,6 +238,9 @@ class MetadataService {
   mutable std::mutex lengths_mu_;
   std::unordered_map<std::string, std::uint64_t> lengths_;  ///< logical length by name
   std::set<net::NodeId> excluded_;  ///< failed nodes, out of placement
+  std::map<net::NodeId, unsigned> held_;  ///< partition holds (refcounted)
+  std::set<net::NodeId> draining_;  ///< decommissioning, no new placements
+  std::set<net::NodeId> removed_;   ///< decommissioned, gone from the view
   std::uint64_t next_object_id_ = 1;
   std::size_t next_placement_ = 0;
 };

@@ -114,10 +114,50 @@ void RecoveryManager::degraded_read(const FileLayout& layout,
 
 void RecoveryManager::rebuild(const std::string& name, const std::set<net::NodeId>& failed,
                               RebuildResult cb) {
+  if (rebuilding_.count(name) != 0) {
+    // Serialize per name: run after the in-flight rebuild publishes, from
+    // the then-current layout. The failed set is snapshotted now — by run
+    // time it may name nodes that since rejoined, which only makes the
+    // avoid list conservative, never wrong.
+    ++rebuilds_deferred_;
+    deferred_.push_back({name, failed, std::move(cb)});
+    return;
+  }
+  rebuilding_.insert(name);
+  rebuild_now(name, failed, std::move(cb));
+}
+
+void RecoveryManager::finish_rebuild(const std::string& name) {
+  rebuilding_.erase(name);
+  for (auto it = deferred_.begin(); it != deferred_.end(); ++it) {
+    if (it->name != name) continue;
+    DeferredRebuild next = std::move(*it);
+    deferred_.erase(it);
+    if (cluster_.metadata().lookup(name) == nullptr) {
+      // Deleted while parked: answer rather than throw, and let any later
+      // deferrals for the name drain the same way.
+      next.cb(std::nullopt, cluster_.sim().now());
+      finish_rebuild(name);
+      return;
+    }
+    rebuilding_.insert(name);
+    rebuild_now(next.name, next.failed, std::move(next.cb));
+    return;
+  }
+}
+
+void RecoveryManager::rebuild_now(const std::string& name, const std::set<net::NodeId>& failed,
+                                  RebuildResult cb) {
   const FileLayout* current = cluster_.metadata().lookup(name);
   if (!current || current->policy.resiliency != dfs::Resiliency::kErasureCoding) {
+    rebuilding_.erase(name);
     throw std::invalid_argument("RecoveryManager::rebuild: unknown or non-EC object " + name);
   }
+  // Every exit below must release the name: wrap the caller's callback.
+  cb = [this, name, inner = std::move(cb)](std::optional<FileLayout> layout, TimePs at) {
+    inner(std::move(layout), at);
+    finish_rebuild(name);
+  };
   const FileLayout layout = *current;
   const unsigned k = layout.policy.ec_k;
   const unsigned m = layout.policy.ec_m;
@@ -151,7 +191,15 @@ void RecoveryManager::rebuild(const std::string& name, const std::set<net::NodeI
         for (unsigned i = 0; i < k + m; ++i) {
           auto& coord = i < k ? repaired.targets[i] : repaired.parity[i - k];
           if (!failed.count(coord.node)) continue;
-          coord = cluster_.metadata().allocate_spare(layout.chunk_len, avoid);
+          // Typed exhaustion instead of a throw: with every spare candidate
+          // failed/held/draining the rebuild reports unrecoverable-for-now;
+          // the caller retries once nodes rejoin.
+          auto spare = cluster_.metadata().try_allocate_spare(layout.chunk_len, avoid);
+          if (!spare) {
+            cb(std::nullopt, at);
+            return;
+          }
+          coord = *spare;
           writes.emplace_back(coord, i < k ? &(*data)[i] : &parity[i - k]);
         }
 

@@ -13,9 +13,11 @@
 //     metadata service.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "ec/reed_solomon.hpp"
 #include "services/client.hpp"
@@ -38,13 +40,29 @@ class RecoveryManager {
 
   /// Rebuild every chunk (data or parity) hosted on a failed node onto a
   /// spare, then publish the repaired layout for `name`. Calls back with
-  /// the new layout, or nullopt when the object is unrecoverable.
+  /// the new layout, or nullopt when the object is unrecoverable (or no
+  /// spare capacity exists right now — retryable once nodes rejoin).
+  ///
+  /// Rebuilds are serialized per name: a second rebuild of an object whose
+  /// repair is still in flight is deferred (FIFO) until the first
+  /// publishes, then re-reads the *current* layout. Without this, two
+  /// overlapping failures — or a failure racing a rejoin — would each copy
+  /// the pre-repair layout and the loser's update_layout would resurrect
+  /// coordinates the winner already re-homed (the double-adoption race).
   void rebuild(const std::string& name, const std::set<net::NodeId>& failed, RebuildResult cb);
 
   std::uint64_t chunks_rebuilt() const { return chunks_rebuilt_; }
+  /// Rebuild requests parked behind an in-flight rebuild of the same name.
+  std::uint64_t rebuilds_deferred() const { return rebuilds_deferred_; }
 
  private:
   struct ChunkGather;
+
+  void rebuild_now(const std::string& name, const std::set<net::NodeId>& failed,
+                   RebuildResult cb);
+  /// Completion hook for a serialized rebuild: releases the name and starts
+  /// the oldest deferred rebuild waiting on it, if any.
+  void finish_rebuild(const std::string& name);
 
   /// Fetch any k surviving chunks; cb receives (chunk_index, bytes) pairs
   /// or nullopt. Chunk reads that fail in flight (the client's deadline
@@ -57,9 +75,18 @@ class RecoveryManager {
   auth::Capability scoped_cap(std::uint64_t object_id, auth::Right right,
                               const dfs::Coord& coord, std::uint64_t len) const;
 
+  struct DeferredRebuild {
+    std::string name;
+    std::set<net::NodeId> failed;
+    RebuildResult cb;
+  };
+
   Cluster& cluster_;
   Client& client_;
   std::uint64_t chunks_rebuilt_ = 0;
+  std::uint64_t rebuilds_deferred_ = 0;
+  std::set<std::string> rebuilding_;        ///< names with a rebuild in flight
+  std::deque<DeferredRebuild> deferred_;    ///< FIFO, filtered by name
 };
 
 }  // namespace nadfs::services

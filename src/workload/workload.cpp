@@ -251,6 +251,14 @@ void Engine::complete(std::size_t tenant_idx, std::uint64_t object_idx, unsigned
   if (err == dfs::DfsError::kOk) {
     ++shard.completed;
     shard.bytes_ok += bytes;
+    if (cfg_.goodput_window > 0) {
+      // Per-window goodput bucket (rolling-restart dip observable): a
+      // shard-local, commutative add — safe from concurrent client lanes
+      // and invisible to digests.
+      const std::size_t w = static_cast<std::size_t>(at / cfg_.goodput_window);
+      if (shard.window_bytes.size() <= w) shard.window_bytes.resize(w + 1, 0);
+      shard.window_bytes[w] += bytes;
+    }
     const TimePs lat = at - issued;
     shard.sum_latency += lat;
     shard.max_latency = std::max(shard.max_latency, lat);
@@ -299,6 +307,12 @@ void Engine::merge_shards() {
     stats_.sum_latency += sh.sum_latency;
     stats_.max_latency = std::max(stats_.max_latency, sh.max_latency);
     stats_.last_completion = std::max(stats_.last_completion, sh.last_completion);
+    if (stats_.goodput_timeline.size() < sh.window_bytes.size()) {
+      stats_.goodput_timeline.resize(sh.window_bytes.size(), 0);
+    }
+    for (std::size_t i = 0; i < sh.window_bytes.size(); ++i) {
+      stats_.goodput_timeline[i] += sh.window_bytes[i];
+    }
     digest_ += sh.digest;
     sh = Shard{};
   }

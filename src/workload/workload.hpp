@@ -99,6 +99,13 @@ struct EngineConfig {
   TimePs diurnal_period = ms(1);
   /// Arrival horizon: no new ops are issued at or after this sim time.
   TimePs duration = ms(1);
+  /// Goodput timeline: when > 0, successful payload bytes are additionally
+  /// bucketed into windows of this width by completion time
+  /// (Stats::goodput_timeline) — the observable for goodput *dips* during
+  /// rolling restarts. 0 (default) keeps the timeline off. The bucketing
+  /// is a commutative per-shard add, so it is digest-neutral and merges
+  /// identically under the domain-parallel core.
+  TimePs goodput_window = 0;
   std::uint64_t seed = 1;
   /// Client-side retry/timeout knobs applied to the pooled clients.
   unsigned retries = 0;
@@ -120,6 +127,9 @@ struct Stats {
   TimePs sum_latency = 0;
   TimePs max_latency = 0;
   TimePs last_completion = 0;
+  /// Successful payload bytes per goodput_window bucket (empty when the
+  /// timeline is off). Bucket i covers [i*window, (i+1)*window).
+  std::vector<std::uint64_t> goodput_timeline;
 
   /// Payload goodput over the horizon (last completion, at least the
   /// configured duration), in Gbit/s of simulated time.
@@ -207,6 +217,7 @@ class Engine {
     TimePs max_latency = 0;
     TimePs last_completion = 0;
     std::uint64_t digest = 0;  ///< summed completion hashes
+    std::vector<std::uint64_t> window_bytes;  ///< per-window bytes_ok buckets
   };
 
   void schedule_open_loop();

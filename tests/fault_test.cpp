@@ -103,6 +103,56 @@ TEST(FaultPlan, ReachableComposesKillAndLink) {
   EXPECT_FALSE(plan.reachable(6, net::kNeverPs - 1));  // kill is sticky
 }
 
+TEST(FaultPlan, RestartClampsCoveringWindow) {
+  net::FaultPlan plan;
+  plan.kill_node(3, us(10));  // dead forever...
+  plan.restart_at(3, us(40));  // ...until revived
+  EXPECT_TRUE(plan.node_alive(3, us(10) - 1));
+  EXPECT_FALSE(plan.node_alive(3, us(10)));
+  EXPECT_FALSE(plan.node_alive(3, us(40) - 1));
+  EXPECT_TRUE(plan.node_alive(3, us(40)));  // half-open: up at the restart
+  EXPECT_TRUE(plan.node_alive(3, net::kNeverPs - 1));
+  // Restarting a node that was never killed is a no-op.
+  plan.restart_at(7, us(5));
+  EXPECT_TRUE(plan.node_alive(7, us(1)));
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RestartLeavesFutureKillWindowsAlone) {
+  // A rolling schedule composes: kill / restart / re-kill / re-restart.
+  net::FaultPlan plan;
+  plan.kill_node(2, us(10));
+  plan.kill_node(2, us(100));  // scheduled re-kill, entirely in the future
+  plan.restart_at(2, us(30));  // clamps only the covering window
+  EXPECT_FALSE(plan.node_alive(2, us(10)));
+  EXPECT_TRUE(plan.node_alive(2, us(30)));
+  EXPECT_TRUE(plan.node_alive(2, us(100) - 1));
+  EXPECT_FALSE(plan.node_alive(2, us(100)));  // the re-kill still fires
+  plan.restart_at(2, us(200));
+  EXPECT_TRUE(plan.node_alive(2, us(200)));
+}
+
+TEST(FaultPlan, KillWithExplicitUntilIsHalfOpen) {
+  net::FaultPlan plan;
+  plan.kill_node(5, us(10), us(20));
+  EXPECT_TRUE(plan.node_alive(5, us(10) - 1));
+  EXPECT_FALSE(plan.node_alive(5, us(10)));
+  EXPECT_FALSE(plan.node_alive(5, us(20) - 1));
+  EXPECT_TRUE(plan.node_alive(5, us(20)));
+}
+
+TEST(FaultPlan, NodeUpAfterScansOverlappingWindows) {
+  net::FaultPlan plan;
+  EXPECT_EQ(plan.node_up_after(9, us(3)), us(3));  // never killed: now
+  plan.kill_node(9, us(10), us(20));
+  plan.kill_node(9, us(15), us(30));  // overlapping — chains past us(20)
+  EXPECT_EQ(plan.node_up_after(9, us(5)), us(5));   // before the outage
+  EXPECT_EQ(plan.node_up_after(9, us(12)), us(30)); // fixed point over both
+  EXPECT_EQ(plan.node_up_after(9, us(30)), us(30));
+  plan.kill_node(9, us(50));  // open-ended
+  EXPECT_EQ(plan.node_up_after(9, us(60)), net::kNeverPs);
+}
+
 TEST(FaultPlan, TrunkWindowsAreUnorderedPairsHalfOpen) {
   net::FaultPlan plan;
   plan.trunk_down(2, 0, us(1), us(3));  // (2,0) and (0,2) are the same trunk
@@ -260,6 +310,45 @@ TEST(FaultNet, TxReachabilityDecidedAtSerializationStart) {
   for (std::size_t i = 0; i < rig.b.pkts.size(); ++i) {
     EXPECT_EQ(rig.b.pkts[i].seq, i);  // survivors are the head of the queue
   }
+}
+
+TEST(FaultNet, RestartReadmitsTrafficBothDirections) {
+  // Tentpole re-admission: after restart_at, the first packet whose uplink
+  // window starts at or after the restart transmits — no re-registration
+  // at the network layer. Both roles (revived source, revived destination)
+  // recover.
+  Rig rig;
+  net::FaultPlan plan;
+  plan.kill_node(rig.na, us(1));
+  plan.restart_at(rig.na, us(5));
+  rig.net.install_faults(plan);
+
+  rig.sim.schedule(us(2), [&] { rig.net.inject(mk(rig.na, rig.nb)); });  // dead: tx drop
+  rig.sim.schedule(us(3), [&] { rig.net.inject(mk(rig.nb, rig.na)); });  // dead dst: rx drop
+  rig.sim.schedule(us(5), [&] { rig.net.inject(mk(rig.na, rig.nb)); });  // revived: delivered
+  rig.sim.schedule(us(6), [&] { rig.net.inject(mk(rig.nb, rig.na)); });  // revived: delivered
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+  EXPECT_EQ(rig.a.pkts.size(), 1u);
+  EXPECT_EQ(rig.net.fault_counters().tx_drops, 1u);
+  EXPECT_EQ(rig.net.fault_counters().rx_drops, 1u);
+}
+
+TEST(FaultNet, MidRunRestartViaFaultsAccessor) {
+  // Chaos hooks add restarts mid-run through faults(); a future-dated
+  // restart is safe because the plan is queried by time.
+  Rig rig;
+  net::FaultPlan plan;
+  plan.kill_node(rig.na, us(1));
+  rig.net.install_faults(plan);
+  rig.sim.schedule(us(2), [&] {
+    rig.net.faults().restart_at(rig.na, us(4));
+    rig.net.inject(mk(rig.na, rig.nb));  // still dead now
+  });
+  rig.sim.schedule(us(4), [&] { rig.net.inject(mk(rig.na, rig.nb)); });
+  rig.sim.run();
+  EXPECT_EQ(rig.b.pkts.size(), 1u);
+  EXPECT_EQ(rig.net.fault_counters().tx_drops, 1u);
 }
 
 TEST(FaultNet, DuplicateRateDeliversCopies) {
