@@ -194,6 +194,28 @@ class SweepReport {
       }
       const std::string base = name.substr(0, name.size() - suffix.size());
       if (count <= 0 || totals.find(base + ".max_ps") == totals.end()) continue;
+      // Quantile-sketch families (obs::QuantileSketch) flatten to ".s<i>"
+      // log-linear sub-buckets: 48 power-of-two majors x 32 linear slices.
+      // When present they beat the coarse ".b<k>" log2 buckets, turning
+      // the derived p50/p99 from bucket-boundary approximations into
+      // ~3%-accurate estimates.
+      std::vector<std::pair<std::size_t, long long>> sub;
+      for (const auto& [sname, svalue] : totals) {
+        if (sname.size() <= base.size() + 2 || sname.compare(0, base.size(), base) != 0 ||
+            sname[base.size()] != '.' || sname[base.size() + 1] != 's') {
+          continue;
+        }
+        const std::string idx = sname.substr(base.size() + 2);
+        if (idx.empty() || idx.find_first_not_of("0123456789") != std::string::npos) continue;
+        sub.emplace_back(static_cast<std::size_t>(std::strtoull(idx.c_str(), nullptr, 10)),
+                         svalue);
+      }
+      if (!sub.empty()) {
+        std::sort(sub.begin(), sub.end());
+        derived.emplace_back(base, std::make_pair(sketch_percentile_ns(sub, count, 0.50),
+                                                  sketch_percentile_ns(sub, count, 0.99)));
+        continue;
+      }
       std::vector<long long> buckets(48, 0);
       for (std::size_t k = 0; k < buckets.size(); ++k) {
         const auto it = totals.find(base + ".b" + std::to_string(k));
@@ -206,6 +228,34 @@ class SweepReport {
       totals[base + ".p50_ns"] = p.first;
       totals[base + ".p99_ns"] = p.second;
     }
+  }
+
+  /// Percentile from sorted (sub-bucket index, count) pairs of an
+  /// obs::QuantileSketch: major = i/32 is the log2(ns) bucket, the 32
+  /// slices of [2^major, 2^{major+1}) ns are linear.
+  static long long sketch_percentile_ns(const std::vector<std::pair<std::size_t, long long>>& sub,
+                                        long long count, double q) {
+    constexpr std::size_t kSub = 32;
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (const auto& [i, c] : sub) {
+      if (c <= 0) continue;
+      const double prev = cum;
+      cum += static_cast<double>(c);
+      if (cum < target) continue;
+      const std::size_t major = i / kSub;
+      const std::size_t slice = i % kSub;
+      const double base = static_cast<double>(std::uint64_t{1} << major);
+      const double lo = i == 0 ? 0.0
+                               : base * static_cast<double>(kSub + slice) /
+                                     static_cast<double>(kSub);
+      const double hi =
+          base * static_cast<double>(kSub + slice + 1) / static_cast<double>(kSub);
+      const double frac =
+          std::min(1.0, std::max(0.0, (target - prev) / static_cast<double>(c)));
+      return static_cast<long long>(lo + (hi - lo) * frac + 0.5);
+    }
+    return 0;
   }
 
   static long long percentile_ns(const std::vector<long long>& buckets, long long count,

@@ -107,6 +107,29 @@ for par in 0 1; do
   done
 done
 
+# Storage-engine gates (DESIGN.md §3h): the backend factory + per-node
+# selection, the Bε-tree flush/compaction/stall behaviour, and the
+# equivalence suites (LineRate op-for-op vs the pre-engine model, Bε-tree
+# vs flat oracle, randomized timing digests) under both chaos seeds AND
+# with the partitioned scheduler forced OFF and ON — background
+# flush/compaction commits are sim events in the owning node's lane, so
+# serial == parallel must hold for every engine.
+for par in 0 1; do
+  for seed in 1 7; do
+    echo "== storage-engine suites under NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed"
+    NADFS_SIM_PARALLEL=$par NADFS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" \
+      --output-on-failure -R 'StorageEngine|BetaTree|EngineEquivalence|Target'
+  done
+done
+
+# Storage-engine bench smoke: line-rate vs NVMM vs Bε-tree goodput sweep;
+# the bench re-reads BENCH_storage_engine.json through the strict obs JSON
+# parser and exits nonzero unless the betree knee is non-degenerate and
+# attributable to compaction backlog (compact bytes + stall time grow past
+# the knee).
+echo "== storage-engine bench smoke (BENCH_storage_engine.json validation)"
+(cd "$BUILD_DIR" && NADFS_BENCH_SMOKE=1 "./bench/storage_engine" > /dev/null)
+
 # Elasticity bench smoke: time-to-rejoin, rebalance convergence and the
 # rolling-restart goodput dip; the bench re-reads BENCH_elasticity.json
 # through the strict obs JSON parser and fails on missing row families.

@@ -26,6 +26,13 @@ void MetricRegistry::histogram(std::string name, const SimTimeHist& h) {
   entries_[std::move(name)] = std::move(e);
 }
 
+void MetricRegistry::sketch(std::string name, const QuantileSketch& s) {
+  Entry e;
+  e.kind = Entry::Kind::kSketch;
+  e.sketch = &s;
+  entries_[std::move(name)] = std::move(e);
+}
+
 void MetricRegistry::remove_prefix(std::string_view prefix) {
   for (auto it = entries_.lower_bound(std::string(prefix)); it != entries_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -52,6 +59,18 @@ std::map<std::string, long long> MetricRegistry::snapshot() const {
         for (std::size_t k = 0; k < SimTimeHist::kBuckets; ++k) {
           if (h.bucket(k) != 0)
             out[name + ".b" + std::to_string(k)] = static_cast<long long>(h.bucket(k));
+        }
+        break;
+      }
+      case Entry::Kind::kSketch: {
+        const QuantileSketch& s = *e.sketch;
+        out[name + ".count"] = static_cast<long long>(s.count());
+        out[name + ".sum_ps"] = static_cast<long long>(s.sum_ps());
+        out[name + ".min_ps"] = static_cast<long long>(s.min_ps());
+        out[name + ".max_ps"] = static_cast<long long>(s.max_ps());
+        for (std::size_t i = 0; i < QuantileSketch::kBuckets; ++i) {
+          if (s.bucket(i) != 0)
+            out[name + ".s" + std::to_string(i)] = static_cast<long long>(s.bucket(i));
         }
         break;
       }

@@ -123,6 +123,109 @@ class SimTimeHist {
   std::uint64_t buckets_[kBuckets] = {};
 };
 
+/// Counting-quantile sketch over simulated durations (picoseconds).
+///
+/// Log-linear (HDR-style) buckets: 48 power-of-two major buckets in
+/// nanoseconds — the same dynamic range as SimTimeHist — each subdivided
+/// into 32 linear sub-buckets, so any quantile is recovered with a
+/// bounded ~3% relative error instead of the up-to-2x bucket-boundary
+/// error of the log2 histogram. Recording is a few integer ops and
+/// allocates nothing; buckets are plain counts, so sketches merge (and
+/// MetricsAccumulator sums across sweep points) commutatively. Under
+/// NADFS_OBS_DISABLED record() compiles to a no-op.
+class QuantileSketch {
+ public:
+  static constexpr std::size_t kMajor = 48;
+  static constexpr std::size_t kSub = 32;
+  static constexpr std::size_t kBuckets = kMajor * kSub;
+
+  void record(std::uint64_t dur_ps) {
+    if constexpr (!kObsEnabled) {
+      (void)dur_ps;
+      return;
+    }
+    ++count_;
+    sum_ps_ += dur_ps;
+    if (count_ == 1 || dur_ps < min_ps_) min_ps_ = dur_ps;
+    if (dur_ps > max_ps_) max_ps_ = dur_ps;
+    ++buckets_[index_of(dur_ps)];
+  }
+
+  void merge(const QuantileSketch& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ps_ < min_ps_) min_ps_ = other.min_ps_;
+    if (other.max_ps_ > max_ps_) max_ps_ = other.max_ps_;
+    count_ += other.count_;
+    sum_ps_ += other.sum_ps_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ps() const { return sum_ps_; }
+  std::uint64_t min_ps() const { return count_ ? min_ps_ : 0; }
+  std::uint64_t max_ps() const { return max_ps_; }
+  std::uint64_t bucket(std::size_t i) const { return i < kBuckets ? buckets_[i] : 0; }
+
+  /// Quantile in picoseconds (q in [0,1]): linear interpolation within
+  /// the crossing sub-bucket, clamped to the observed [min, max].
+  std::uint64_t quantile_ps(double q) const {
+    if (count_ == 0) return 0;
+    const double target = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      const double prev = cum;
+      cum += static_cast<double>(buckets_[i]);
+      if (cum < target) continue;
+      const double lo = bucket_lo_ns(i);
+      const double hi = bucket_hi_ns(i);
+      double frac = (target - prev) / static_cast<double>(buckets_[i]);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      const auto ps = static_cast<std::uint64_t>((lo + (hi - lo) * frac) * 1000.0 + 0.5);
+      // The true quantile always lies inside the observed range; clamping
+      // makes degenerate (single-value) distributions exact.
+      return ps < min_ps_ ? min_ps_ : (ps > max_ps_ ? max_ps_ : ps);
+    }
+    return max_ps_;
+  }
+
+  /// Sub-bucket index: major = floor(log2(ns)), then 32 equal slices of
+  /// [2^major, 2^{major+1}). ns in {0, 1} land in bucket 0.
+  static std::size_t index_of(std::uint64_t dur_ps) {
+    const std::uint64_t ns = dur_ps / 1000;
+    if (ns == 0) return 0;
+    std::size_t major = 0;
+    for (std::uint64_t v = ns; v >>= 1;) ++major;
+    if (major >= kMajor) return kBuckets - 1;
+    const std::uint64_t base = std::uint64_t{1} << major;
+    const std::size_t sub = static_cast<std::size_t>((ns - base) * kSub / base);
+    return major * kSub + sub;
+  }
+
+  /// Lower/upper bound of sub-bucket i in (fractional) nanoseconds.
+  static double bucket_lo_ns(std::size_t i) {
+    if (i == 0) return 0.0;
+    const std::size_t major = i / kSub;
+    const std::size_t sub = i % kSub;
+    const double base = static_cast<double>(std::uint64_t{1} << major);
+    return base * (static_cast<double>(kSub + sub)) / static_cast<double>(kSub);
+  }
+  static double bucket_hi_ns(std::size_t i) {
+    const std::size_t major = i / kSub;
+    const std::size_t sub = i % kSub;
+    const double base = static_cast<double>(std::uint64_t{1} << major);
+    return base * (static_cast<double>(kSub + sub + 1)) / static_cast<double>(kSub);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ps_ = 0;
+  std::uint64_t min_ps_ = 0;
+  std::uint64_t max_ps_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
 /// Central name -> instrument view. Names are hierarchical dotted paths
 /// ("node3.dfs.acks_sent"); snapshots iterate in sorted name order so
 /// exports are deterministic. Registering is wiring-time work; sampling
@@ -139,6 +242,10 @@ class MetricRegistry {
   /// Register a sim-time histogram; flattened into `.count`, `.sum_ps`,
   /// `.min_ps`, `.max_ps` and nonzero `.b<k>` entries in snapshots.
   void histogram(std::string name, const SimTimeHist& h);
+  /// Register a quantile sketch; flattened like a histogram but with
+  /// fine-grained nonzero `.s<i>` sub-buckets (bench/report.hpp prefers
+  /// these over `.b<k>` when deriving p50/p99).
+  void sketch(std::string name, const QuantileSketch& s);
 
   /// Drop every instrument whose name starts with `prefix` — used when a
   /// bound component (a Client, an uninstalled DFS service) goes away
@@ -157,10 +264,11 @@ class MetricRegistry {
 
  private:
   struct Entry {
-    enum class Kind { kCounter, kGauge, kHist } kind;
+    enum class Kind { kCounter, kGauge, kHist, kSketch } kind;
     const std::uint64_t* cell = nullptr;
     std::function<long long()> fn;
     const SimTimeHist* hist = nullptr;
+    const QuantileSketch* sketch = nullptr;
   };
   std::map<std::string, Entry> entries_;
 };

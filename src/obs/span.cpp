@@ -27,6 +27,8 @@ std::string SpanTracer::lane_name(std::uint32_t lane) {
     case kLaneEgress: return "egress";
     case kLaneAck: return "ack";
     case kLaneTrunk: return "trunk";
+    case kLaneRebalance: return "rebalance";
+    case kLaneStorage: return "storage-engine";
     default:
       return "hpu c" + std::to_string(lane / 1000) + "/" + std::to_string(lane % 1000);
   }

@@ -33,6 +33,7 @@ inline constexpr std::uint32_t kLaneEgress = 9005;    ///< handler egress comman
 inline constexpr std::uint32_t kLaneAck = 9006;       ///< acks/nacks at the client NIC
 inline constexpr std::uint32_t kLaneTrunk = 9007;     ///< inter-switch fabric hops
 inline constexpr std::uint32_t kLaneRebalance = 9008;  ///< rebalancer chunk migrations
+inline constexpr std::uint32_t kLaneStorage = 9009;    ///< storage engine flush/compaction
 
 struct Span {
   std::uint32_t node = 0;     ///< Perfetto pid

@@ -198,8 +198,13 @@ void Nic::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
 
 std::pair<Bytes, TimePs> Nic::dma_from_storage(std::uint64_t addr, std::size_t len,
                                                TimePs ready) {
-  const auto w = pcie_.reserve(len, ready + config_.pcie_latency);
-  return {memory_.read(addr, len), w.end + config_.pcie_latency};
+  // The storage engine prices the media side of the read (queueing on the
+  // device budget + read amplification); the PCIe hop starts once the
+  // medium has the bytes. The line-rate engine returns `ready` unchanged,
+  // keeping this path bit-identical to the pre-engine model.
+  auto r = memory_.read_at(addr, len, ready);
+  const auto w = pcie_.reserve(len, r.ready + config_.pcie_latency);
+  return {std::move(r.data), w.end + config_.pcie_latency};
 }
 
 Bytes Nic::peek_storage(std::uint64_t addr, std::size_t len) { return memory_.read(addr, len); }
@@ -444,8 +449,10 @@ void Nic::host_path_read_request(const net::Packet& pkt) {
     net_.inject(std::move(nack), sim_.now());
     return;
   }
-  const TimePs t = sim_.now() + config_.rx_processing;
-  const Bytes data = memory_.read(pkt.raddr, pkt.read_len);
+  const TimePs t0 = sim_.now() + config_.rx_processing;
+  auto r = memory_.read_at(pkt.raddr, pkt.read_len, t0);
+  const TimePs t = r.ready;
+  const Bytes data = std::move(r.data);
   const std::size_t mtu = net_.mtu();
   const auto count =
       static_cast<std::uint32_t>(std::max<std::size_t>(1, (data.size() + mtu - 1) / mtu));

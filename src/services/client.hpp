@@ -222,6 +222,11 @@ class Client {
   /// Per-attempt op latency (issue -> completion, successes only).
   const obs::SimTimeHist& write_latency() const { return write_latency_; }
   const obs::SimTimeHist& read_latency() const { return read_latency_; }
+  /// Same samples through the fine-grained quantile sketch (registered as
+  /// ".write_latency_q"/".read_latency_q"): BENCH p50/p99 derive from
+  /// these instead of log2 bucket boundaries.
+  const obs::QuantileSketch& write_latency_sketch() const { return write_latency_q_; }
+  const obs::QuantileSketch& read_latency_sketch() const { return read_latency_q_; }
 
  private:
   void write_plain(const FileLayout& layout, const auth::Capability& cap, std::uint64_t offset,
@@ -252,7 +257,7 @@ class Client {
 
   /// Op-attempt span + latency sample; `name`/`failed_name` are static.
   void note_op(const char* name, const char* failed_name, bool ok, std::uint64_t greq,
-               TimePs issued, TimePs at, obs::SimTimeHist& hist);
+               TimePs issued, TimePs at, obs::SimTimeHist& hist, obs::QuantileSketch& sketch);
 
   Cluster& cluster_;
   ClientNode& node_;
@@ -270,6 +275,8 @@ class Client {
   std::uint64_t op_timeouts_ = 0;
   obs::SimTimeHist write_latency_;
   obs::SimTimeHist read_latency_;
+  obs::QuantileSketch write_latency_q_;
+  obs::QuantileSketch read_latency_q_;
   std::string metrics_prefix_;
 };
 

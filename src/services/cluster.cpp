@@ -66,6 +66,7 @@ void StorageNode::bind_metrics(obs::MetricRegistry& reg, std::string prefix) {
   metrics_prefix_ = std::move(prefix);
   nic_->bind_metrics(reg, metrics_prefix_ + ".nic");
   pspin_->bind_metrics(reg, metrics_prefix_ + ".pspin");
+  target_->bind_metrics(reg, metrics_prefix_ + ".storage");
   reg.gauge(metrics_prefix_ + ".host_events",
             [this] { return static_cast<long long>(host_events_.size()); });
   if (dfs_state_) dfs_state_->bind_metrics(reg, metrics_prefix_ + ".dfs");
@@ -74,6 +75,7 @@ void StorageNode::bind_metrics(obs::MetricRegistry& reg, std::string prefix) {
 void StorageNode::set_tracer(obs::SpanTracer* tracer) {
   nic_->set_tracer(tracer);
   pspin_->set_span_tracer(tracer);
+  target_->set_tracer(tracer, static_cast<std::uint32_t>(id()));
 }
 
 void StorageNode::start_state_gc(TimePs interval, TimePs ttl) {
@@ -124,8 +126,11 @@ Cluster::Cluster(ClusterConfig config) : cfg_(config) {
 
   std::vector<net::NodeId> storage_ids;
   for (unsigned i = 0; i < cfg_.storage_nodes; ++i) {
-    storage_.push_back(std::make_unique<StorageNode>(sim_, *network_, cfg_.target, cfg_.nic,
-                                                     cfg_.cpu, cfg_.pspin));
+    const storage::TargetConfig& tcfg =
+        cfg_.per_node_target.empty() ? cfg_.target
+                                     : cfg_.per_node_target[i % cfg_.per_node_target.size()];
+    storage_.push_back(
+        std::make_unique<StorageNode>(sim_, *network_, tcfg, cfg_.nic, cfg_.cpu, cfg_.pspin));
     storage_ids.push_back(storage_.back()->id());
   }
   for (unsigned i = 0; i < cfg_.clients; ++i) {

@@ -77,9 +77,13 @@ class StorageNode {
   void start_state_gc(TimePs interval, TimePs ttl);
   void stop_state_gc();
 
-  /// Simulation domain this node's lane-local timers (state GC) arm into.
+  /// Simulation domain this node's lane-local timers (state GC) and the
+  /// storage engine's background jobs (flush/compaction commits) arm into.
   /// Set by the Cluster when domain partitioning is enabled; 0 otherwise.
-  void set_sim_domain(sim::DomainId d) { sim_domain_ = d; }
+  void set_sim_domain(sim::DomainId d) {
+    sim_domain_ = d;
+    target_->set_sim_domain(d);
+  }
   sim::DomainId sim_domain() const { return sim_domain_; }
 
  private:
@@ -151,6 +155,11 @@ struct ClusterConfig {
   SimParallelConfig parallel;
   net::NetworkConfig network;
   storage::TargetConfig target;
+  /// Per-node storage backends: when non-empty, storage node i uses
+  /// per_node_target[i % size()] instead of `target` (heterogeneous
+  /// clusters: e.g. half the nodes on the Bε-tree engine, half at line
+  /// rate). Client RAM always stays on the default line-rate model.
+  std::vector<storage::TargetConfig> per_node_target;
   rdma::NicConfig nic;
   host::CpuConfig cpu;
   pspin::PsPinConfig pspin;

@@ -180,8 +180,11 @@ void HostDfsService::handle_read(const dfs::ParsedRequest& req, TimePs t) {
                              static_cast<std::uint64_t>(dfs::DfsError::kNotFound));
     return;
   }
-  const Bytes data = node_.target().read(req.rrh.src_addr, req.rrh.len);
-  const TimePs ready = cpu.copy(data.size(), t);
+  // The engine prices the media read (line-rate: ready == t, unchanged);
+  // the host copy starts once the medium has produced the bytes.
+  auto r = node_.target().read_at(req.rrh.src_addr, req.rrh.len, t);
+  const Bytes data = std::move(r.data);
+  const TimePs ready = cpu.copy(data.size(), r.ready);
 
   const std::size_t mtu = cfg_.mtu;
   const auto count =

@@ -1,0 +1,100 @@
+#include "storage/engine/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "storage/engine/betree.hpp"
+#include "storage/engine/line_rate.hpp"
+#include "storage/engine/nvmm.hpp"
+
+namespace nadfs::storage {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kLineRate:
+      return "line-rate";
+    case EngineKind::kNvmm:
+      return "nvmm";
+    case EngineKind::kBetaTree:
+      return "betree";
+  }
+  return "unknown";
+}
+
+void StorageEngine::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+  reg.gauge(prefix + ".kind",
+            [this] { return static_cast<long long>(static_cast<int>(kind())); });
+}
+
+std::unique_ptr<StorageEngine> make_engine(sim::Simulator& simulator, const EngineConfig& cfg,
+                                           Bandwidth line_rate_ingest) {
+  switch (cfg.kind) {
+    case EngineKind::kLineRate:
+      return std::make_unique<LineRateEngine>(simulator, line_rate_ingest);
+    case EngineKind::kNvmm:
+      return std::make_unique<NvmmEngine>(simulator, cfg);
+    case EngineKind::kBetaTree:
+      return std::make_unique<BetaTreeEngine>(simulator, cfg);
+  }
+  throw std::invalid_argument("storage::make_engine: unknown engine kind");
+}
+
+// ---- PageStore ----------------------------------------------------------
+
+void PageStore::write(std::uint64_t addr, ByteSpan data) {
+  std::uint64_t pos = addr;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::size_t n =
+        std::min<std::size_t>(data.size() - off, static_cast<std::size_t>(kPageSize - in_page));
+    auto& pg = pages_[page];
+    if (pg.empty()) pg.assign(kPageSize, 0);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+              data.begin() + static_cast<std::ptrdiff_t>(off + n),
+              pg.begin() + static_cast<std::ptrdiff_t>(in_page));
+    pos += n;
+    off += n;
+  }
+}
+
+void PageStore::zero(std::uint64_t addr, std::uint64_t len) {
+  std::uint64_t pos = addr;
+  std::uint64_t left = len;
+  while (left > 0) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::uint64_t n = std::min<std::uint64_t>(left, kPageSize - in_page);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::fill(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n), 0);
+    }
+    pos += n;
+    left -= n;
+  }
+}
+
+Bytes PageStore::read(std::uint64_t addr, std::size_t len) const {
+  Bytes out(len, 0);
+  std::uint64_t pos = addr;
+  std::size_t off = 0;
+  while (off < len) {
+    const std::uint64_t page = pos >> kPageBits;
+    const std::uint64_t in_page = pos & (kPageSize - 1);
+    const std::size_t n =
+        std::min<std::size_t>(len - off, static_cast<std::size_t>(kPageSize - in_page));
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::copy(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n),
+                out.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    pos += n;
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace nadfs::storage

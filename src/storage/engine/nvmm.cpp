@@ -1,0 +1,11 @@
+#include "storage/engine/nvmm.hpp"
+
+namespace nadfs::storage {
+
+void NvmmEngine::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+  StorageEngine::bind_metrics(reg, prefix);
+  reg.counter_cell(prefix + ".write_bytes", &write_bytes_);
+  reg.counter_cell(prefix + ".read_bytes", &read_bytes_);
+}
+
+}  // namespace nadfs::storage

@@ -6,52 +6,24 @@
 namespace nadfs::storage {
 
 Target::Target(sim::Simulator& simulator, TargetConfig config)
-    : sim_(simulator), config_(config), ingest_(simulator, config.ingest) {}
+    : sim_(simulator),
+      config_(config),
+      engine_(make_engine(simulator, config.engine, config.ingest)) {}
 
 TimePs Target::write(std::uint64_t addr, ByteSpan data, TimePs earliest) {
   if (addr + data.size() > config_.capacity) {
     throw std::out_of_range("storage::Target::write: beyond capacity");
   }
-  std::uint64_t pos = addr;
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const std::uint64_t page = pos >> kPageBits;
-    const std::uint64_t in_page = pos & (kPageSize - 1);
-    const std::size_t n =
-        std::min<std::size_t>(data.size() - off, static_cast<std::size_t>(kPageSize - in_page));
-    auto& pg = pages_[page];
-    if (pg.empty()) pg.assign(kPageSize, 0);
-    std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
-              data.begin() + static_cast<std::ptrdiff_t>(off + n),
-              pg.begin() + static_cast<std::ptrdiff_t>(in_page));
-    pos += n;
-    off += n;
-  }
   bytes_written_ += data.size();
   untrim(addr, data.size());
-  return ingest_.reserve(data.size(), earliest).end;
+  return engine_->write(addr, data, earliest);
 }
 
 TimePs Target::trim(std::uint64_t addr, std::uint64_t len, TimePs earliest) {
   if (addr + len > config_.capacity) {
     throw std::out_of_range("storage::Target::trim: beyond capacity");
   }
-  if (len == 0) return ingest_.reserve(0, earliest).end;
-  // Zero the backing bytes so a stale page never resurrects deleted data.
-  std::uint64_t pos = addr;
-  std::uint64_t left = len;
-  while (left > 0) {
-    const std::uint64_t page = pos >> kPageBits;
-    const std::uint64_t in_page = pos & (kPageSize - 1);
-    const std::uint64_t n = std::min<std::uint64_t>(left, kPageSize - in_page);
-    auto it = pages_.find(page);
-    if (it != pages_.end()) {
-      std::fill(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
-                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n), 0);
-    }
-    pos += n;
-    left -= n;
-  }
+  if (len == 0) return engine_->trim(addr, 0, earliest);
   // Merge [addr, addr+len) into the tombstone set.
   std::uint64_t lo = addr;
   std::uint64_t hi = addr + len;
@@ -67,8 +39,9 @@ TimePs Target::trim(std::uint64_t addr, std::uint64_t len, TimePs earliest) {
   }
   tombstones_[lo] = hi;
   bytes_trimmed_ += len;
-  // A trim is a metadata-sized command on the ingest unit, not a data burst.
-  return ingest_.reserve(0, earliest).end;
+  // The engine zeroes the backing bytes so a stale extent never
+  // resurrects deleted data, and prices the command.
+  return engine_->trim(addr, len, earliest);
 }
 
 bool Target::trimmed(std::uint64_t addr, std::uint64_t len) const {
@@ -104,24 +77,20 @@ Bytes Target::read(std::uint64_t addr, std::size_t len) const {
   if (addr + len > config_.capacity) {
     throw std::out_of_range("storage::Target::read: beyond capacity");
   }
-  Bytes out(len, 0);
-  std::uint64_t pos = addr;
-  std::size_t off = 0;
-  while (off < len) {
-    const std::uint64_t page = pos >> kPageBits;
-    const std::uint64_t in_page = pos & (kPageSize - 1);
-    const std::size_t n =
-        std::min<std::size_t>(len - off, static_cast<std::size_t>(kPageSize - in_page));
-    auto it = pages_.find(page);
-    if (it != pages_.end()) {
-      std::copy(it->second.begin() + static_cast<std::ptrdiff_t>(in_page),
-                it->second.begin() + static_cast<std::ptrdiff_t>(in_page + n),
-                out.begin() + static_cast<std::ptrdiff_t>(off));
-    }
-    pos += n;
-    off += n;
+  return engine_->read(addr, len);
+}
+
+StorageEngine::TimedRead Target::read_at(std::uint64_t addr, std::size_t len, TimePs earliest) {
+  if (addr + len > config_.capacity) {
+    throw std::out_of_range("storage::Target::read: beyond capacity");
   }
-  return out;
+  return engine_->read_at(addr, len, earliest);
+}
+
+void Target::bind_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+  reg.counter_cell(prefix + ".bytes_written", &bytes_written_);
+  reg.counter_cell(prefix + ".bytes_trimmed", &bytes_trimmed_);
+  engine_->bind_metrics(reg, prefix + ".engine");
 }
 
 }  // namespace nadfs::storage

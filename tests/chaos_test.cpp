@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "services/failure_detector.hpp"
+#include "storage/engine/betree.hpp"
 
 namespace nadfs {
 namespace {
@@ -366,6 +367,149 @@ TEST(Chaos, KillNodeMidEcWriteDetectorDrivenRecovery) {
   const std::uint64_t seed = chaos_seed();
   const auto first = run_kill_mid_write_scenario(seed);
   const auto second = run_kill_mid_write_scenario(seed);
+  EXPECT_EQ(first, second) << "same seed must replay identically (seed " << seed << ")";
+}
+
+// --------------------- satellite: death with a non-empty write buffer
+//
+// Every storage node runs the Bε-tree engine with a small memtable and a
+// finite device, so flush/compaction jobs are routinely in flight and the
+// engine buffers unflushed bytes in RAM. The victim is killed while its
+// write buffer is provably non-empty (a fence probe at the kill instant
+// asserts it) — the exact state a crash would lose on real hardware.
+// Recovery must rebuild the chunk from the surviving replicas, nothing may
+// hang, and the whole episode must replay bit-identically.
+std::uint64_t run_kill_mid_compaction_scenario(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.storage_nodes = 7;
+  cfg.clients = 2;
+  storage::TargetConfig tcfg;
+  tcfg.engine.kind = storage::EngineKind::kBetaTree;
+  tcfg.engine.device_bandwidth = Bandwidth::from_gbytes_per_sec(1.0);
+  tcfg.engine.memtable_bytes = 4 * KiB;
+  tcfg.engine.fanout = 2;
+  cfg.per_node_target = {tcfg};
+  Cluster cluster(cfg);
+  Client writer(cluster, 0);
+  Client prober(cluster, 1);
+  RecoveryManager recovery(cluster, writer);
+
+  FilePolicy policy;
+  policy.resiliency = dfs::Resiliency::kErasureCoding;
+  policy.ec_k = 3;
+  policy.ec_m = 2;
+  const std::size_t size = 48000;
+  const auto& layout = cluster.metadata().create("obj", size, policy);
+  const auto cap = cluster.metadata().grant(writer.client_id(), layout, auth::Right::kReadWrite);
+  const Bytes data = random_bytes(size, 42);
+
+  bool v1_ok = false;
+  writer.write(layout, cap, data, [&](bool ok, TimePs) { v1_ok = ok; });
+  cluster.sim().run();
+  EXPECT_TRUE(v1_ok) << "seed " << seed;
+  const TimePs t0 = cluster.sim().now();
+
+  // v1 left a sub-memtable tail in every engine's active buffer, and v2's
+  // packets pile more on top while its flushes are still queued on the
+  // slow device — the victim dies mid-backlog whatever the jitter says.
+  Rng jitter(seed);
+  net::FaultPlan plan;
+  plan.set_seed(seed);
+  const net::NodeId victim = layout.parity[0].node;
+  const TimePs kill_at = t0 + us(1) + jitter.next_below(us(1));
+  plan.kill_node(victim, kill_at);
+  cluster.network().install_faults(plan);
+
+  auto& victim_engine =
+      dynamic_cast<storage::BetaTreeEngine&>(cluster.storage_by_node(victim).target().engine());
+  std::uint64_t buffered_at_kill = 0;
+  std::uint64_t backlog_at_kill = 0;
+  cluster.sim().schedule_fence_at(kill_at, [&] {
+    buffered_at_kill = victim_engine.buffered_bytes();
+    backlog_at_kill = victim_engine.backlog_runs();
+  });
+
+  writer.set_timeout(us(60));
+  writer.set_retry_policy(2, us(10));
+  bool v2_done = false, v2_ok = true;
+  writer.write(layout, cap, data, [&](bool ok, TimePs) {
+    v2_done = true;
+    v2_ok = ok;
+  });
+
+  // Probes share the device with flush/compaction backlogs on *healthy*
+  // nodes, so the heartbeat deadline must ride out a busy device window —
+  // a 10 us probe timeout would false-suspect a node mid-flush.
+  services::FailureDetectorConfig fd_cfg;
+  fd_cfg.probe_interval = us(60);
+  fd_cfg.probe_timeout = us(50);
+  FailureDetector detector(cluster, prober, fd_cfg);
+  TimePs detected_at = 0, rebuilt_at = 0;
+  std::optional<services::FileLayout> repaired;
+  detector.set_on_failure([&](net::NodeId node, TimePs at) {
+    EXPECT_EQ(node, victim) << "seed " << seed;
+    if (detected_at != 0) return;
+    detected_at = at;
+    recovery.rebuild("obj", detector.failed(),
+                     [&](std::optional<services::FileLayout> l, TimePs t) {
+                       repaired = std::move(l);
+                       rebuilt_at = t;
+                     });
+  });
+  detector.start();
+  cluster.sim().run_until(t0 + ms(5));
+  detector.stop();
+  cluster.sim().run();  // must drain — flush/compaction chains terminate
+
+  // The victim died holding unflushed writes.
+  EXPECT_GT(buffered_at_kill, 0u) << "seed " << seed;
+  // The in-flight v2 lost the victim's ack and failed after retries, but
+  // the object rebuilt onto the survivors.
+  EXPECT_TRUE(v2_done) << "seed " << seed;
+  EXPECT_FALSE(v2_ok) << "seed " << seed;
+  EXPECT_GT(detected_at, kill_at) << "seed " << seed;
+  EXPECT_TRUE(repaired.has_value()) << "seed " << seed;
+  if (!repaired.has_value()) {
+    dump_if_failed(cluster, &writer, &prober);
+    return 0;
+  }
+  EXPECT_GT(rebuilt_at, detected_at) << "seed " << seed;
+  for (const auto& c : repaired->targets) EXPECT_NE(c.node, victim);
+  for (const auto& c : repaired->parity) EXPECT_NE(c.node, victim);
+
+  const auto* current = cluster.metadata().lookup("obj");
+  EXPECT_TRUE(current != nullptr);
+  const Bytes plain = ec_plain_read(cluster, writer, *current);
+  EXPECT_EQ(plain, data) << "seed " << seed;
+
+  // Quiesce: nothing pending anywhere on the client side.
+  EXPECT_EQ(writer.tracker().pending_count(), 0u);
+  EXPECT_EQ(prober.tracker().pending_count(), 0u);
+  EXPECT_EQ(writer.node().nic().pending_read_count(), 0u);
+  EXPECT_EQ(prober.node().nic().pending_read_count(), 0u);
+
+  Digest d;
+  d.bytes(plain);
+  d.u64(buffered_at_kill);
+  d.u64(backlog_at_kill);
+  d.u64(victim_engine.flushes());
+  d.u64(victim_engine.compactions());
+  d.u64(victim_engine.stalls());
+  d.u64(detected_at);
+  d.u64(rebuilt_at);
+  d.u64(kill_at);
+  d.client(writer);
+  d.client(prober);
+  d.counters(cluster.network().fault_counters());
+  d.u64(cluster.sim().executed_events());
+  dump_if_failed(cluster, &writer, &prober);
+  return d.h;
+}
+
+TEST(Chaos, KillWithBufferedWritesMidCompactionRebuildsDeterministically) {
+  const std::uint64_t seed = chaos_seed();
+  const auto first = run_kill_mid_compaction_scenario(seed);
+  const auto second = run_kill_mid_compaction_scenario(seed);
   EXPECT_EQ(first, second) << "same seed must replay identically (seed " << seed << ")";
 }
 

@@ -77,5 +77,77 @@ TEST(Target, BytesWrittenAccounting) {
   EXPECT_EQ(t.bytes_written(), 150u);
 }
 
+// ------------------------------------------ trim tombstone regressions
+//
+// The tombstone range set lives in Target (not the engine), keyed by start
+// address and non-overlapping. These pin the merge/split edge cases that a
+// future map rewrite is most likely to get wrong.
+
+TEST(Target, TrimAdjacentRangesMergeIntoOne) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(4096, Bytes(8192, 0x5A));
+  // Two trims that abut exactly at 8192: the set must behave as one
+  // contiguous [4096, 12288) range, including across the seam.
+  t.trim(4096, 4096);
+  t.trim(8192, 4096);
+  EXPECT_TRUE(t.trimmed(4096, 8192));
+  EXPECT_TRUE(t.trimmed(8190, 4));  // straddles the merge seam
+  EXPECT_FALSE(t.trimmed(12288, 1));
+  EXPECT_FALSE(t.trimmed(4095, 1));
+  // Trimmed bytes read back zero.
+  EXPECT_EQ(t.read(8190, 4), (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Target, TrimPartialOverlapReTrimExtendsTheRange) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(0, Bytes(16384, 0x11));
+  t.trim(1024, 4096);  // [1024, 5120)
+  // Overlapping re-trim that starts inside and ends past the first range.
+  t.trim(4096, 4096);  // extends to [1024, 8192)
+  EXPECT_TRUE(t.trimmed(1024, 7168));
+  EXPECT_FALSE(t.trimmed(8192, 1));
+  // Re-trim fully inside an existing range is a no-op for coverage.
+  t.trim(2048, 1024);
+  EXPECT_TRUE(t.trimmed(1024, 7168));
+  // And one that starts before and ends inside extends the left edge.
+  t.trim(512, 1024);  // [512, 8192)
+  EXPECT_TRUE(t.trimmed(512, 7680));
+  EXPECT_FALSE(t.trimmed(511, 1));
+}
+
+TEST(Target, WriteRevivesAcrossMergedRanges) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(0, Bytes(12288, 0x77));
+  t.trim(0, 4096);
+  t.trim(4096, 4096);
+  t.trim(8192, 4096);  // one merged [0, 12288) range
+  ASSERT_TRUE(t.trimmed(0, 12288));
+  // A write spanning the middle of the merged range punches a hole,
+  // leaving live bytes flanked by two surviving tombstones.
+  t.write(2048, Bytes(8192, 0xC3));
+  EXPECT_FALSE(t.trimmed(2048, 8192));
+  EXPECT_TRUE(t.trimmed(0, 2048));
+  EXPECT_TRUE(t.trimmed(10240, 2048));
+  EXPECT_TRUE(t.trimmed(1024, 4096));  // query overlapping hole + tombstone
+  EXPECT_EQ(t.read(2048, 4), Bytes(4, 0xC3));
+  EXPECT_EQ(t.read(0, 4), Bytes(4, 0));       // left tombstone zeroed
+  EXPECT_EQ(t.read(10240, 4), Bytes(4, 0));   // right tombstone zeroed
+}
+
+TEST(Target, TrimAccountingAndZeroLenTrim) {
+  sim::Simulator sim;
+  Target t(sim);
+  t.write(0, Bytes(4096, 0xEE));
+  const TimePs d0 = t.trim(0, 0);  // zero-length: priced, no tombstone
+  EXPECT_FALSE(t.trimmed(0, 1));
+  EXPECT_EQ(t.bytes_trimmed(), 0u);
+  const TimePs d1 = t.trim(0, 4096, d0);
+  EXPECT_GE(d1, d0);
+  EXPECT_EQ(t.bytes_trimmed(), 4096u);
+}
+
 }  // namespace
 }  // namespace nadfs::storage
